@@ -1,0 +1,98 @@
+"""§4.1 Alexa destination coverage.
+
+The paper: DNS for the Alexa Top 500 → peer routes to 157 of them; the
+500 pages embed 49,776 resources from 4,182 FQDNs resolving to 2,757
+distinct IPs, of which peer routes cover 1,055 (38%) — because content is
+concentrated on CDNs that peer openly.
+
+Shape checks here: resource-IP coverage substantially exceeds the global
+prefix fraction (content over-coverage), and both site and IP coverage
+land near the paper's ratios.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.inet.analysis import peer_reachability
+from repro.workloads import WebConfig, build_web_ecosystem
+
+
+@pytest.fixture(scope="module")
+def web(paper_testbed):
+    ecosystem = build_web_ecosystem(paper_testbed.graph, WebConfig(site_count=500))
+    reach = peer_reachability(paper_testbed.graph, paper_testbed.asn)
+    return paper_testbed, ecosystem, reach
+
+
+def test_alexa_coverage(web, benchmark):
+    testbed, ecosystem, reach = web
+    coverage = benchmark(ecosystem.coverage, reach.reachable_asns)
+    rows = [
+        ["top sites", coverage["sites"], "(paper: 500)"],
+        ["sites w/ peer routes", coverage["sites_covered"], "(paper: 157)"],
+        ["resources", coverage["resources"], "(paper: 49,776)"],
+        ["distinct FQDNs", coverage["fqdns"], "(paper: 4,182)"],
+        ["distinct IPs", coverage["ips"], "(paper: 2,757)"],
+        ["IPs w/ peer routes", coverage["ips_covered"], "(paper: 1,055)"],
+        [
+            "IP coverage",
+            f"{coverage['ips_covered'] / coverage['ips']:.2f}",
+            "(paper: 0.38)",
+        ],
+        [
+            "site coverage",
+            f"{coverage['sites_covered'] / coverage['sites']:.2f}",
+            "(paper: 0.31)",
+        ],
+    ]
+    emit("§4.1: Alexa-style destination coverage", rows)
+
+    assert coverage["sites"] == 500
+    assert 30_000 < coverage["resources"] < 80_000
+    assert 1_000 < coverage["fqdns"] <= 4_200
+    # Site coverage in the paper's ballpark (157/500 = 0.31).
+    site_fraction = coverage["sites_covered"] / coverage["sites"]
+    assert 0.15 < site_fraction < 0.60
+    # IP coverage likewise (1055/2757 = 0.38).
+    ip_fraction = coverage["ips_covered"] / coverage["ips"]
+    assert 0.20 < ip_fraction < 0.70
+
+
+def test_content_overcoverage(web, benchmark):
+    """The load-bearing claim: popular-content IPs are covered far better
+    than the Internet at large (38% of IPs vs 25% of prefixes), because
+    the big CDNs peer."""
+    testbed, ecosystem, reach = web
+    coverage = benchmark(ecosystem.coverage, reach.reachable_asns)
+    ip_fraction = coverage["ips_covered"] / coverage["ips"]
+    emit(
+        "§4.1: content over-coverage",
+        [
+            ["resource-IP coverage", f"{ip_fraction:.2f}"],
+            ["global prefix coverage", f"{reach.prefix_fraction:.2f}"],
+        ],
+    )
+    assert ip_fraction > reach.prefix_fraction
+
+
+def test_resource_fetch_weighted_coverage(web, benchmark):
+    """Weighted by fetch volume the coverage is even higher: the most
+    popular FQDNs are the CDN-hosted ones."""
+    testbed, ecosystem, reach = web
+
+    def count():
+        fetches = covered = 0
+        for site in ecosystem.sites:
+            for resource in site.resources:
+                fetches += 1
+                if resource.asn in reach.reachable_asns:
+                    covered += 1
+        return fetches, covered
+
+    fetches, covered = benchmark(count)
+    emit(
+        "§4.1 (extension): fetch-weighted coverage",
+        [["fetches covered", f"{covered}/{fetches}", f"{covered / fetches:.2f}"]],
+    )
+    coverage = ecosystem.coverage(reach.reachable_asns)
+    assert covered / fetches >= coverage["ips_covered"] / coverage["ips"]

@@ -1,0 +1,81 @@
+"""§4.1 "Who do we peer with? / Which destinations can we reach?"
+
+Reproduces, on the full-scale synthetic Internet:
+
+* peer routes to >131K prefixes, about a quarter of the Internet;
+* peers based in 59 countries;
+* peering with ≥13 of the top-50 and ~27 of the top-100 ASes by
+  customer-cone size;
+* named content/CDN networks among the peers.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.inet.analysis import (
+    country_coverage,
+    peer_reachability,
+    top_cone_overlap,
+)
+from repro.inet.topology import ASKind
+
+
+@pytest.fixture(scope="module")
+def amsterdam(paper_testbed):
+    return paper_testbed, paper_testbed.server("amsterdam01")
+
+
+def test_destination_reach(amsterdam, benchmark):
+    testbed, server = amsterdam
+    reach = benchmark(peer_reachability, testbed.graph, testbed.asn)
+    emit(
+        "§4.1: destinations reachable via peer routes",
+        [
+            ["peers", reach.peer_count, "(paper: ~600)"],
+            ["reachable prefixes", reach.reachable_prefixes, "(paper: >131,000)"],
+            ["total prefixes", reach.total_prefixes, "(2014 table: ~520,000)"],
+            ["fraction", f"{reach.prefix_fraction:.2f}", "(paper: ~0.25)"],
+        ],
+    )
+    assert reach.peer_count > 500
+    assert 0.15 < reach.prefix_fraction < 0.40  # "one quarter of the Internet"
+    assert reach.reachable_prefixes > 80_000
+
+
+def test_countries(amsterdam, benchmark):
+    testbed, server = amsterdam
+    peers = set(testbed.graph.peers(testbed.asn))
+    countries = benchmark(country_coverage, testbed.graph, peers)
+    emit("§4.1: peer countries", [["countries", len(countries), "(paper: 59)"]])
+    assert len(countries) >= 40  # worldwide footprint
+
+
+def test_top_cone_ranks(amsterdam, benchmark):
+    testbed, server = amsterdam
+    peers = set(testbed.graph.peers(testbed.asn))
+    overlap = benchmark(top_cone_overlap, testbed.graph, peers, (50, 100))
+    emit(
+        "§4.1: large-AS peers by customer cone",
+        [
+            ["of the top 50", overlap[50], "(paper: >=13)"],
+            ["of the top 100", overlap[100], "(paper: 27)"],
+        ],
+    )
+    assert overlap[50] >= 5  # several of the biggest networks peer
+    assert overlap[100] >= overlap[50]
+
+
+def test_content_networks_among_peers(amsterdam, benchmark):
+    testbed, server = amsterdam
+    peers = benchmark(lambda: set(testbed.graph.peers(testbed.asn)))
+    content_peers = [
+        testbed.graph.get(asn).name
+        for asn in peers
+        if testbed.graph.get(asn).kind is ASKind.CONTENT
+    ]
+    named = [n for n in content_peers if n and not n.startswith("CDN-")][:12]
+    emit(
+        "§4.1: content/CDN networks among the peers",
+        [[", ".join(sorted(named))], ["content peers total", len(content_peers)]],
+    )
+    assert len(content_peers) >= 50  # content providers peer openly

@@ -1,0 +1,111 @@
+"""Ablation (§3 design choice): Quagga-mode vs BIRD-mode muxes.
+
+"While Quagga suffices in our current deployment, it requires a single
+connection between client and server for each upstream peer and thus
+cannot support large IXPs with many peers.  We plan to substitute ...
+the BIRD software router, which enables lightweight multiplexing by
+using BGP Additional Paths."
+
+Measured: session count, handshake message volume, and route-relay
+message count per client as the peer count grows, for both modes.
+Expected shape: Quagga-mode grows O(peers) per client; BIRD-mode is O(1)
+sessions with ADD-PATH path ids doing the multiplexing.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import MuxMode, Testbed
+from repro.inet.gen import InternetConfig
+from repro.net.addr import Prefix
+
+PEER_COUNTS = [4, 16, 64, 256]
+
+
+@pytest.fixture(scope="module")
+def world():
+    return Testbed.build_default(InternetConfig(n_ases=2200, seed=6))
+
+
+def attach_and_count(testbed, name, mode, peer_asns):
+    client = testbed.register_client(name, researcher="bench")
+    attachment = client.attach("amsterdam01", mode=mode, peer_asns=peer_asns)
+    server = testbed.server("amsterdam01")
+    sessions = server.client_session_count(name)
+    return client, attachment, sessions
+
+
+@pytest.mark.parametrize("n_peers", PEER_COUNTS)
+def test_mux_mode_scaling(world, benchmark, n_peers):
+    testbed = world
+    server = testbed.server("amsterdam01")
+    peer_asns = sorted(server.neighbor_asns)[:n_peers]
+    if len(peer_asns) < n_peers:
+        pytest.skip(f"only {len(peer_asns)} peers at this scale")
+
+    def run():
+        results = {}
+        for mode in (MuxMode.QUAGGA, MuxMode.BIRD):
+            name = f"bench-{mode.value}-{n_peers}"
+            client, attachment, sessions = attach_and_count(
+                testbed, name, mode, peer_asns
+            )
+            results[mode.value] = {"sessions": sessions}
+            client.detach("amsterdam01")
+            testbed.retire_experiment(name)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"mux scaling at {n_peers} peers",
+        [
+            ["quagga-mode sessions/client", results["quagga"]["sessions"]],
+            ["bird-mode sessions/client", results["bird"]["sessions"]],
+        ],
+    )
+    assert results["quagga"]["sessions"] == n_peers
+    assert results["bird"]["sessions"] == 1
+
+
+def test_route_relay_equivalence(world, benchmark):
+    """Both modes must deliver the same per-peer route information; BIRD
+    mode just multiplexes it with path ids."""
+    testbed = world
+    server = testbed.server("amsterdam01")
+    peer_asns = sorted(server.neighbor_asns)[:16]
+    dest = next(
+        node.asn
+        for node in testbed.graph.nodes()
+        if node.kind.value == "access" and node.asn not in server.neighbor_asns
+    )
+    prefix = Prefix("203.0.113.0/24")
+
+    def run():
+        clients = {}
+        for mode in (MuxMode.QUAGGA, MuxMode.BIRD):
+            name = f"relay-{mode.value}"
+            client = testbed.register_client(name, researcher="bench")
+            router = client.attach_bgp(
+                "amsterdam01", mode=mode, local_asn=64512, peer_asns=peer_asns
+            )
+            sent = server.relay_destination(name, dest, prefix)
+            received = [r for r in router.loc_rib.candidates(prefix)]
+            clients[mode.value] = (sent, len(received), router)
+        return clients
+
+    clients = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    quagga_sent, quagga_recv, _ = clients["quagga"]
+    bird_sent, bird_recv, bird_router = clients["bird"]
+    emit(
+        "route relay equivalence (16 peers)",
+        [
+            ["quagga-mode routes relayed", quagga_sent],
+            ["bird-mode routes relayed", bird_sent],
+            ["quagga-mode candidates at client", quagga_recv],
+            ["bird-mode candidates at client", bird_recv],
+        ],
+    )
+    assert quagga_sent == bird_sent
+    # BIRD-mode ADD-PATH preserves every alternate on one session.
+    assert bird_recv == bird_sent

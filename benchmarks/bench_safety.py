@@ -1,0 +1,142 @@
+"""Ablation (§3 "Enforcing safety"): hostile-client scenarios.
+
+Exercises every safety property the paper promises the Internet:
+hijacks of external space, cross-experiment prefix theft, route leaks,
+coarse covering announcements, flap storms (damping), announcement
+floods (rate limiting), and uncontrolled spoofing — each must be blocked
+at the mux, while the legitimate baseline continues to work.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bgp.attributes import ASPath
+from repro.core import SafetyVerdict, Testbed
+from repro.inet.gen import InternetConfig
+from repro.net.addr import IPAddress, Prefix
+from repro.net.packet import Packet
+
+
+@pytest.fixture(scope="module")
+def world():
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=700, total_prefixes=60_000, seed=66)
+    )
+    victim = testbed.register_client("victim", researcher="alice")
+    victim.attach("gatech01")
+    victim.announce(victim.prefixes[0])
+    mallory = testbed.register_client("mallory", researcher="mallory")
+    mallory.attach("gatech01")
+    return testbed, victim, mallory
+
+
+def test_hostile_client_gauntlet(world, benchmark):
+    testbed, victim, mallory = world
+    server = testbed.server("gatech01")
+    now = testbed.engine.now
+    allocated = set(testbed.allocated_prefixes("mallory"))
+    pool = testbed.pool
+
+    def gauntlet():
+        attempts = {
+            "hijack external space": server.safety.check_announcement(
+                "mallory", Prefix("8.8.8.0/24"), ASPath(),
+                allocated=allocated, testbed_space=pool.contains(Prefix("8.8.8.0/24")),
+                now=now,
+            ),
+            "steal another experiment's prefix": server.safety.check_announcement(
+                "mallory", victim.prefixes[0], ASPath(),
+                allocated=allocated,
+                testbed_space=pool.contains(victim.prefixes[0]),
+                now=now,
+            ),
+            "cover the whole /19": server.safety.check_announcement(
+                "mallory", Prefix("184.164.224.0/19"), ASPath(),
+                allocated=allocated,
+                testbed_space=True,
+                now=now,
+            ),
+            "leak a learned route": server.safety.check_announcement(
+                "mallory", mallory.prefixes[0], ASPath.from_asns([64512, 3356]),
+                allocated=allocated, testbed_space=True, now=now,
+            ),
+        }
+        return attempts
+
+    attempts = benchmark(gauntlet)
+    rows = [[scenario, decision.verdict.value] for scenario, decision in attempts.items()]
+    emit("safety gauntlet (control plane)", rows)
+    assert attempts["hijack external space"].verdict is SafetyVerdict.PREFIX_OUTSIDE_TESTBED
+    assert attempts["steal another experiment's prefix"].verdict is SafetyVerdict.PREFIX_NOT_ALLOCATED
+    assert attempts["cover the whole /19"].verdict is SafetyVerdict.PREFIX_TOO_COARSE
+    assert attempts["leak a learned route"].verdict is SafetyVerdict.ROUTE_LEAK
+
+
+def test_flap_storm_contained(world, benchmark):
+    """A client flapping its own prefix gets damped; the damper state is
+    per (client, prefix) so the victim is unaffected."""
+    testbed, victim, mallory = world
+    prefix = mallory.prefixes[0]
+
+    def storm():
+        verdicts = []
+        for _ in range(8):
+            decisions = mallory.announce(prefix)
+            verdicts.append(decisions["gatech01"].verdict)
+            mallory.withdraw(prefix)
+        return verdicts
+
+    verdicts = benchmark.pedantic(storm, rounds=1, iterations=1)
+    damped = sum(1 for v in verdicts if v is SafetyVerdict.DAMPED)
+    emit(
+        "flap storm",
+        [
+            ["announce/withdraw cycles", len(verdicts)],
+            ["cycles suppressed by damping", damped],
+        ],
+    )
+    assert damped >= 1
+    # The victim's announcement is untouched.
+    assert victim.prefixes[0] in testbed.announced_prefixes()
+
+
+def test_spoofing_contained(world, benchmark):
+    testbed, victim, mallory = world
+    spoofed = Packet(src=IPAddress("8.8.4.4"), dst=IPAddress("203.0.113.1"))
+    legit = Packet(
+        src=mallory.prefixes[0].first_address() + 1, dst=IPAddress("203.0.113.1")
+    )
+    server = testbed.server("gatech01")
+    blocked_before = server.safety.blocked_count()
+
+    def send_both():
+        mallory.send(spoofed)
+        mallory.send(legit)
+
+    benchmark.pedantic(send_both, rounds=1, iterations=1)
+    blocked = server.safety.blocked_count() - blocked_before
+    emit("spoofing control", [["spoofed packets blocked", blocked, "of 1 sent"]])
+    assert blocked == 1
+
+
+def test_stability_toward_peers(world, benchmark):
+    """§3: 'From the perspective of each upstream AS, the AS only connects
+    to PEERING, which maintains a stable BGP session across experiments.'
+    Clients coming and going must not change PEERING's adjacencies."""
+    testbed, _victim, _mallory = world
+    before = set(testbed.graph.neighbors(testbed.asn))
+
+    def churn():
+        transient = testbed.register_client("transient", researcher="t")
+        transient.attach("gatech01")
+        transient.announce(transient.prefixes[0])
+        transient.detach("gatech01")
+        testbed.retire_experiment("transient")
+
+    benchmark.pedantic(churn, rounds=1, iterations=1)
+    after = set(testbed.graph.neighbors(testbed.asn))
+    emit(
+        "session stability across experiments",
+        [["adjacencies before", len(before)], ["after churn", len(after)]],
+    )
+    assert before == after

@@ -1,0 +1,148 @@
+"""Ablation (§2 example research): route-steering primitives.
+
+The research PEERING enables rests on three control-plane levers, all
+exercised here at paper scale with quantified effect sizes:
+
+* **selective announcement** (PoiRoot-style controlled path changes):
+  announcing via one site vs another moves where the Internet's paths
+  enter;
+* **AS-path poisoning** (LIFEGUARD-style failure avoidance): the poisoned
+  AS loses the route, and traffic that used to cross it shifts to
+  alternates;
+* **prepending**: inflating the path at one site sheds catchment to the
+  others (anycast engineering).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core import AnnouncementSpec, Testbed
+from repro.inet.gen import InternetConfig
+
+
+@pytest.fixture()
+def world():
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=1500, total_prefixes=150_000, seed=99)
+    )
+    client = testbed.register_client("steering", researcher="bench")
+    client.attach("amsterdam01")
+    client.attach("gatech01")
+    return testbed, client
+
+
+def entry_sites(testbed, prefix, sites):
+    """How many ASes enter PEERING through each site's neighbors."""
+    outcome = testbed.outcome_for(prefix)
+    site_peers = {name: testbed.server(name).neighbor_asns for name in sites}
+    counts = {name: 0 for name in sites}
+    for asn, _route in outcome.items():
+        if asn == testbed.asn:
+            continue
+        chain = outcome.forwarding_chain(asn)
+        if len(chain) >= 2 and chain[-1] == testbed.asn:
+            entry = chain[-2]
+            for name, peers in site_peers.items():
+                if entry in peers:
+                    counts[name] += 1
+                    break
+    return counts
+
+
+def test_selective_announcement_moves_ingress(world, benchmark):
+    testbed, client = world
+    prefix = client.prefixes[0]
+
+    def run():
+        client.announce(prefix, servers=["amsterdam01"])
+        only_ams = entry_sites(testbed, prefix, ["amsterdam01", "gatech01"])
+        client.withdraw(prefix)
+        client.announce(prefix, servers=["gatech01"])
+        only_gt = entry_sites(testbed, prefix, ["amsterdam01", "gatech01"])
+        client.withdraw(prefix)
+        return only_ams, only_gt
+
+    only_ams, only_gt = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "selective announcement",
+        [
+            ["announce only at amsterdam01", only_ams],
+            ["announce only at gatech01", only_gt],
+        ],
+    )
+    assert only_ams["amsterdam01"] > 0 and only_ams["gatech01"] == 0
+    assert only_gt["gatech01"] > 0 and only_gt["amsterdam01"] == 0
+
+
+def test_poisoning_removes_target(world, benchmark):
+    testbed, client = world
+    prefix = client.prefixes[0]
+    client.announce(prefix)
+    baseline = testbed.outcome_for(prefix)
+
+    # Pick a transit AS that many inbound paths cross.
+    from collections import Counter
+
+    def transit_hops(route):
+        """Hops strictly before the announcement's own tail (everything
+        from PEERING's first appearance onward is origin/poison
+        sentinel, not transit)."""
+        path = route.path
+        cut = path.index(testbed.asn) if testbed.asn in path else len(path)
+        return path[:cut]
+
+    usage = Counter()
+    for asn, route in baseline.items():
+        for hop in transit_hops(route):
+            usage[hop] += 1
+    target, uses = usage.most_common(1)[0]
+
+    def run():
+        client.withdraw(prefix)
+        client.announce(prefix, poison=[target])
+        return testbed.outcome_for(prefix)
+
+    poisoned = benchmark.pedantic(run, rounds=1, iterations=1)
+    on_paths_after = sum(
+        1 for _asn, route in poisoned.items() if target in transit_hops(route)
+    )
+    lost = len(baseline.reachable_asns()) - len(poisoned.reachable_asns())
+    emit(
+        "poisoning",
+        [
+            [f"AS{target} on inbound paths before", uses],
+            ["on paths after poisoning", on_paths_after],
+            ["ASes that lost the route", lost],
+        ],
+    )
+    # The poisoned AS itself must drop the route...
+    assert poisoned.route(target) is None
+    # ...and its transit role collapses entirely.
+    assert on_paths_after == 0
+    client.withdraw(prefix)
+
+
+def test_prepend_sheds_catchment(world, benchmark):
+    testbed, client = world
+    prefix = client.prefixes[0]
+    client.announce(prefix)
+    sites = ["amsterdam01", "gatech01"]
+    before = entry_sites(testbed, prefix, sites)
+    dominant = max(before, key=before.get)
+    server = testbed.server(dominant)
+
+    def run():
+        server.announce("steering", prefix, AnnouncementSpec(prepend=4))
+        return entry_sites(testbed, prefix, sites)
+
+    after = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "prepending",
+        [
+            ["before", before],
+            [f"after 4x prepend at {dominant}", after],
+        ],
+    )
+    assert after[dominant] < before[dominant]
+    other = next(s for s in sites if s != dominant)
+    assert after[other] >= before[other]

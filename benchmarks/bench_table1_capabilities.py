@@ -1,0 +1,60 @@
+"""Table 1: testbed capability matrix.
+
+Regenerates the paper's Table 1 from the structural platform models and
+verifies every cell, plus the caption's claim that no two non-PEERING
+systems combine to cover PEERING's goal set.
+"""
+
+from conftest import emit
+
+from repro.testbeds import (
+    ALL_TESTBEDS,
+    PAPER_TABLE_1,
+    Goal,
+    Support,
+    capability_matrix,
+    no_two_combine,
+)
+
+_ROW_LABELS = {
+    Goal.INTERDOMAIN: "Interdomain",
+    Goal.RICH_CONNECTIVITY: "Rich conn.",
+    Goal.TRAFFIC: "Traffic",
+    Goal.REAL_SERVICES: "Real services",
+    Goal.INTRADOMAIN: "Intradomain",
+    Goal.OPEN_SIMULTANEOUS: "Open/Simult.",
+}
+
+_COLUMNS = ["PL", "VN", "EM", "MN", "RC", "BC", "TP", "PR"]
+
+
+def test_table1(benchmark):
+    matrix = benchmark(capability_matrix)
+
+    rows = []
+    for goal in Goal:
+        rows.append(
+            [_ROW_LABELS[goal].ljust(13)]
+            + [matrix[short][goal].symbol for short in _COLUMNS]
+        )
+    emit("Table 1: testbed capabilities", rows, header=["goal".ljust(13)] + _COLUMNS)
+
+    # Every cell matches the published table.
+    mismatches = [
+        (goal.value, short)
+        for goal, row in PAPER_TABLE_1.items()
+        for short, symbol in row.items()
+        if matrix[short][goal].symbol != symbol
+    ]
+    assert mismatches == []
+
+    # Only PEERING meets every goal.
+    assert all(support is Support.YES for support in matrix["PR"].values())
+    for model in ALL_TESTBEDS:
+        if model.short != "PR":
+            assert any(
+                support is not Support.YES for support in matrix[model.short].values()
+            )
+
+    # Caption claim.
+    assert no_two_combine()

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper-scale world (4000 ASes, the full 669-member AMS-IX) is built
+once per session; individual benchmarks slice it.
+"""
+
+import pytest
+
+from repro.core import Testbed
+from repro.inet.gen import InternetConfig
+
+
+PAPER_CONFIG = InternetConfig()  # 4000 ASes, ~520K prefixes
+
+
+@pytest.fixture(scope="session")
+def paper_testbed():
+    """The paper's deployment at full scale (full AMS-IX membership)."""
+    return Testbed.build_default(PAPER_CONFIG)
+
+
+def emit(title, rows, header=None):
+    """Print a reproduced table; shown with ``pytest -s`` and captured in
+    benchmark logs."""
+    print(f"\n=== {title} ===")
+    if header:
+        print("  " + " | ".join(str(h) for h in header))
+    for row in rows:
+        print("  " + " | ".join(str(cell) for cell in row))

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""LIFEGUARD-style failure avoidance with AS-path poisoning.
+
+LIFEGUARD (SIGCOMM 2012, [29] in the paper) used PEERING-style route
+injection to *route around* a failed AS: when the default path to a
+destination traverses a broken network, re-announcing your prefix with
+that network's ASN poisoned into the path forces it (and only it) to drop
+the route, so the Internet converges onto paths that avoid it.
+
+This example reproduces the mechanism end to end:
+
+1. the experiment announces its prefix and observes the inbound paths a
+   set of vantage ASes use;
+2. we break the most-used transit AS (simulated blackhole: it drops all
+   traffic to our prefix);
+3. reachability collapses for the vantages routing through it;
+4. the client re-announces with the broken AS poisoned;
+5. reachability recovers over alternate paths that avoid the poisoned AS.
+
+Run:  python examples/lifeguard_reroute.py
+"""
+
+from collections import Counter
+
+from repro.core import Testbed
+from repro.inet.gen import InternetConfig
+from repro.net.addr import IPAddress
+from repro.net.packet import Packet
+from repro.workloads import client_population
+
+
+def probe_all(testbed, vantages, target):
+    """Ping the target prefix from every vantage; returns delivered set
+    and the AS paths used."""
+    delivered = {}
+    for vantage in vantages:
+        packet = Packet(src=IPAddress("198.18.0.1"), dst=target)
+        delivery = testbed.dataplane.send(vantage, packet)
+        delivered[vantage] = delivery
+    return delivered
+
+
+def main() -> None:
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=1200, total_prefixes=120_000, seed=29)
+    )
+    client = testbed.register_client("lifeguard", researcher="ethan")
+    prefix = client.prefixes[0]
+    client.attach("amsterdam01")
+    client.attach("gatech01")
+    client.announce(prefix)
+    target = prefix.first_address() + 1
+
+    vantages = client_population(testbed.graph, 60, seed=12)
+    print(f"announced {prefix}; probing from {len(vantages)} vantage ASes")
+
+    deliveries = probe_all(testbed, vantages, target)
+    ok = [v for v, d in deliveries.items() if d.status.value == "delivered"]
+    print(f"baseline reachability: {len(ok)}/{len(vantages)}")
+
+    # Find the transit AS most inbound paths traverse (excluding ourselves).
+    transit_usage = Counter()
+    for delivery in deliveries.values():
+        for asn in delivery.path[1:-1]:
+            if asn != testbed.asn:
+                transit_usage[asn] += 1
+    villain, uses = transit_usage.most_common(1)[0]
+    print(f"most-used inbound transit: AS{villain} (on {uses} paths)")
+
+    # Break it: it silently drops traffic to our prefix (a "black hole";
+    # control plane still points through it).
+    print(f"\n*** AS{villain} starts blackholing our traffic ***")
+    testbed.dataplane.register_tap(villain, lambda packet: None)
+    outcome = testbed.outcome_for(prefix)
+    victims = [
+        v for v in vantages
+        if villain in outcome.forwarding_chain(v)
+    ]
+    print(f"{len(victims)} vantages route through the broken AS "
+          "(their traffic now dies there)")
+
+    # LIFEGUARD move: re-announce with the broken AS poisoned.
+    print(f"\nre-announcing {prefix} with AS{villain} poisoned")
+    client.withdraw(prefix)
+    results = client.announce(prefix, poison=[villain])
+    assert all(d.allowed for d in results.values()), "safety filters object?"
+
+    outcome = testbed.outcome_for(prefix)
+    still_broken = [
+        v for v in victims if villain in outcome.forwarding_chain(v)
+    ]
+    recovered = [
+        v
+        for v in victims
+        if villain not in outcome.forwarding_chain(v) and outcome.reaches(v)
+    ]
+    unreachable = [v for v in victims if not outcome.reaches(v)]
+    print(f"after poisoning: {len(recovered)} recovered via alternate paths, "
+          f"{len(unreachable)} lost the route entirely, "
+          f"{len(still_broken)} still traverse AS{villain}")
+    assert not still_broken, "poisoned AS must not remain on any path"
+
+    deliveries = probe_all(testbed, vantages, target)
+    ok_after = [v for v, d in deliveries.items() if d.status.value == "delivered"]
+    print(f"reachability after reroute: {len(ok_after)}/{len(vantages)}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up PEERING, run an experiment, exchange routes and
+traffic with the (simulated) Internet.
+
+This walks the workflow from §3 of the paper:
+
+1. the operators build the testbed (Internet + nine servers);
+2. a researcher proposes an experiment, the board vets it, a /24 out of
+   PEERING's /19 is allocated;
+3. the client attaches to muxes, announces its prefix, and watches the
+   announcement propagate;
+4. traffic flows: an Internet host reaches the experiment through the
+   tunnel, and the client probes outward.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Testbed
+from repro.inet.gen import InternetConfig
+from repro.inet.routing import Announcement, propagate
+from repro.net.addr import IPAddress, Prefix
+from repro.net.packet import Packet
+
+
+def main() -> None:
+    print("== Building the testbed (synthetic Internet + 9 PEERING servers) ==")
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=1000, total_prefixes=100_000, seed=7)
+    )
+    summary = testbed.summary()
+    print(f"AS{summary['asn']} with servers at: {', '.join(summary['sites'])}")
+    amsterdam = testbed.server("amsterdam01")
+    print(f"amsterdam01 peers with {len(amsterdam.neighbor_asns)} ASes "
+          f"(route server + bilateral)\n")
+
+    print("== Registering an experiment ==")
+    client = testbed.register_client("quickstart", researcher="you")
+    prefix = client.prefixes[0]
+    print(f"advisory board approved; allocated {prefix}\n")
+
+    print("== Announcing from two sites ==")
+    client.attach("amsterdam01")
+    client.attach("gatech01")
+    results = client.announce(prefix)
+    for site, decision in results.items():
+        print(f"  {site}: {decision.verdict.value}")
+    outcome = testbed.outcome_for(prefix)
+    print(f"route propagated to {len(outcome.reachable_asns())} of "
+          f"{len(testbed.graph)} ASes\n")
+
+    print("== Per-peer routes (the mux relays every peer's route) ==")
+    dest = next(
+        node.asn
+        for node in testbed.graph.nodes()
+        if node.kind.value == "access" and node.asn not in amsterdam.neighbor_asns
+    )
+    routes = client.routes_toward(dest)["amsterdam01"]
+    print(f"amsterdam01 hears {len(routes)} peer routes toward AS{dest}; first 3:")
+    for peer_asn, route in list(routes.items())[:3]:
+        print(f"  via AS{peer_asn}: path {' '.join(map(str, route.path))}")
+    print()
+
+    print("== Traffic: an Internet host reaches the experiment ==")
+    src_asn = dest
+    packet = Packet(src=IPAddress("198.18.1.1"), dst=prefix.first_address() + 10)
+    delivery = testbed.send_from(src_asn, packet)
+    print(f"delivery: {delivery.status.value} along AS path "
+          f"{' -> '.join(map(str, delivery.path))}")
+    print(f"client received {len(client.received_packets)} packet(s) via tunnel\n")
+
+    print("== Traffic: the client probes outward ==")
+    target_prefix = Prefix("203.0.113.0/24")
+    testbed.dataplane.install(
+        target_prefix,
+        propagate(testbed.graph, Announcement.single(dest)),
+        owner=dest,
+    )
+    delivery = client.ping(target_prefix.first_address() + 1)
+    print(f"ping: {delivery.status.value}, AS path "
+          f"{' -> '.join(map(str, delivery.path))}")
+
+    print("\n== Steering: withdraw, then announce via one peer with prepending ==")
+    client.withdraw(prefix)
+    some_peers = sorted(amsterdam.neighbor_asns)[:5]
+    client.announce(prefix, servers=["amsterdam01"], peers=some_peers, prepend=2)
+    outcome = testbed.outcome_for(prefix)
+    sample = next(iter(some_peers))
+    print(f"AS{sample} now sees path: {outcome.as_path(sample)}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a full reproduction of *PEERING: An AS for Us* (HotNets 2014).
+
+The library implements the PEERING testbed (servers/muxes, clients, prefix
+allocation, safety enforcement, announcement scheduling) on top of
+from-scratch substrates: a BGP-4 stack, a policy-annotated Internet
+simulation with IXPs and route servers, a MinineXt-style intradomain
+emulation, and a simulated data plane.
+
+Quickstart::
+
+    from repro.core import Testbed
+    testbed = Testbed.build_default()        # synthetic Internet + muxes
+    client = testbed.register_client("exp1")
+    client.announce(client.prefixes[0])
+"""
+
+__version__ = "1.0.0"
+
+PEERING_ASN = 47065
+PEERING_SUPERNET = "184.164.224.0/19"
+
+__all__ = ["PEERING_ASN", "PEERING_SUPERNET", "__version__"]

@@ -1,0 +1,88 @@
+"""From-scratch BGP-4 implementation: codec, FSM, sessions, RIBs, policy,
+flap damping, and a complete router."""
+
+from .attributes import (
+    ASPath,
+    ASPathSegment,
+    Community,
+    NO_ADVERTISE,
+    NO_EXPORT,
+    Origin,
+    PathAttributes,
+    SegmentType,
+    is_private_asn,
+)
+from .dampening import DampeningConfig, RouteFlapDamper
+from .decision import best_path, select_best
+from .errors import BGPError, MessageDecodeError, OpenError, UpdateError
+from .fsm import BGPStateMachine, FsmEvent, State
+from .messages import (
+    Capability,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+    decode,
+)
+from .policy import (
+    AsPathFilter,
+    MatchConditions,
+    PolicyResult,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapTerm,
+    SetActions,
+)
+from .rib import AdjRIBIn, AdjRIBOut, LocRIB, Route
+from .router import BGPRouter, PeerConfig, connect_routers
+from .session import BGPSession, SessionConfig, connect
+
+__all__ = [
+    "ASPath",
+    "ASPathSegment",
+    "Community",
+    "NO_ADVERTISE",
+    "NO_EXPORT",
+    "Origin",
+    "PathAttributes",
+    "SegmentType",
+    "is_private_asn",
+    "DampeningConfig",
+    "RouteFlapDamper",
+    "best_path",
+    "select_best",
+    "BGPError",
+    "MessageDecodeError",
+    "OpenError",
+    "UpdateError",
+    "BGPStateMachine",
+    "FsmEvent",
+    "State",
+    "Capability",
+    "KeepaliveMessage",
+    "NotificationMessage",
+    "OpenMessage",
+    "RouteRefreshMessage",
+    "UpdateMessage",
+    "decode",
+    "AsPathFilter",
+    "MatchConditions",
+    "PolicyResult",
+    "PrefixList",
+    "PrefixListEntry",
+    "RouteMap",
+    "RouteMapTerm",
+    "SetActions",
+    "AdjRIBIn",
+    "AdjRIBOut",
+    "LocRIB",
+    "Route",
+    "BGPRouter",
+    "PeerConfig",
+    "connect_routers",
+    "BGPSession",
+    "SessionConfig",
+    "connect",
+]

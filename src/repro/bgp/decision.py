@@ -1,0 +1,98 @@
+"""The BGP decision process (RFC 4271 §9.1 plus the conventional
+vendor-standard steps).
+
+Given the candidate :class:`~repro.bgp.rib.Route` objects for one prefix,
+:func:`best_path` returns them ranked best-first.  The tie-break ladder:
+
+1. highest weight (local to the router, Cisco-style),
+2. highest LOCAL_PREF (default 100 when unset),
+3. locally-originated routes,
+4. shortest AS_PATH (AS_SET counts as one),
+5. lowest ORIGIN (IGP < EGP < INCOMPLETE),
+6. lowest MED — compared only between routes from the same neighbor AS
+   unless ``always_compare_med``; missing MED treated as 0,
+7. eBGP over iBGP,
+8. lowest IGP metric to the next hop,
+9. oldest route (stability preference; optional, on by default),
+10. lowest peer identifier (router-id stand-in) then path id.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import List, Optional, Sequence, Tuple
+
+from .rib import Route
+
+__all__ = ["best_path", "select_best", "DEFAULT_LOCAL_PREF"]
+
+DEFAULT_LOCAL_PREF = 100
+
+
+def _local_pref(route: Route) -> int:
+    value = route.attributes.local_pref
+    return DEFAULT_LOCAL_PREF if value is None else value
+
+
+def _med(route: Route) -> int:
+    return route.attributes.med or 0
+
+
+def _compare(a: Route, b: Route, always_compare_med: bool, prefer_oldest: bool) -> int:
+    """Negative when ``a`` is better."""
+    if a.weight != b.weight:
+        return b.weight - a.weight
+    if _local_pref(a) != _local_pref(b):
+        return _local_pref(b) - _local_pref(a)
+    if a.local != b.local:
+        return -1 if a.local else 1
+    alen, blen = a.attributes.as_path.length(), b.attributes.as_path.length()
+    if alen != blen:
+        return alen - blen
+    if a.attributes.origin != b.attributes.origin:
+        return int(a.attributes.origin) - int(b.attributes.origin)
+    same_neighbor = (
+        a.attributes.as_path.first_asn is not None
+        and a.attributes.as_path.first_asn == b.attributes.as_path.first_asn
+    )
+    if (always_compare_med or same_neighbor) and _med(a) != _med(b):
+        return _med(a) - _med(b)
+    if a.ebgp != b.ebgp:
+        return -1 if a.ebgp else 1
+    if a.igp_metric != b.igp_metric:
+        return a.igp_metric - b.igp_metric
+    if prefer_oldest and a.learned_at != b.learned_at:
+        return -1 if a.learned_at < b.learned_at else 1
+    if a.peer_id != b.peer_id:
+        return -1 if a.peer_id < b.peer_id else 1
+    apid = -1 if a.path_id is None else a.path_id
+    bpid = -1 if b.path_id is None else b.path_id
+    return apid - bpid
+
+
+def best_path(
+    candidates: Sequence[Route],
+    always_compare_med: bool = False,
+    prefer_oldest: bool = True,
+) -> List[Route]:
+    """Rank ``candidates`` best-first.  Empty input gives an empty list.
+
+    Routes whose next hop is unusable should be filtered by the caller
+    before ranking (the router does this when it knows reachability).
+    """
+    return sorted(
+        candidates,
+        key=cmp_to_key(
+            lambda a, b: _compare(a, b, always_compare_med, prefer_oldest)
+        ),
+    )
+
+
+def select_best(
+    candidates: Sequence[Route],
+    always_compare_med: bool = False,
+    prefer_oldest: bool = True,
+) -> Tuple[Optional[Route], List[Route]]:
+    """Return ``(best, ranked_all)`` for one prefix's candidates."""
+    ranked = best_path(candidates, always_compare_med, prefer_oldest)
+    return (ranked[0] if ranked else None), ranked

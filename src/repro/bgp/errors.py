@@ -1,0 +1,108 @@
+"""BGP error codes (RFC 4271 §4.5) and the exceptions the stack raises.
+
+A :class:`BGPError` carries the (code, subcode) pair that would go into a
+NOTIFICATION message, so protocol code can convert caught errors directly
+into the message that closes the session.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = [
+    "ErrorCode",
+    "HeaderSub",
+    "OpenSub",
+    "UpdateSub",
+    "FsmSub",
+    "CeaseSub",
+    "BGPError",
+    "MessageDecodeError",
+    "UpdateError",
+    "OpenError",
+]
+
+
+class ErrorCode(IntEnum):
+    MESSAGE_HEADER = 1
+    OPEN_MESSAGE = 2
+    UPDATE_MESSAGE = 3
+    HOLD_TIMER_EXPIRED = 4
+    FSM_ERROR = 5
+    CEASE = 6
+
+
+class HeaderSub(IntEnum):
+    CONNECTION_NOT_SYNCHRONIZED = 1
+    BAD_MESSAGE_LENGTH = 2
+    BAD_MESSAGE_TYPE = 3
+
+
+class OpenSub(IntEnum):
+    UNSUPPORTED_VERSION = 1
+    BAD_PEER_AS = 2
+    BAD_BGP_IDENTIFIER = 3
+    UNSUPPORTED_OPTIONAL_PARAMETER = 4
+    UNACCEPTABLE_HOLD_TIME = 6
+    UNSUPPORTED_CAPABILITY = 7
+
+
+class UpdateSub(IntEnum):
+    MALFORMED_ATTRIBUTE_LIST = 1
+    UNRECOGNIZED_WELLKNOWN_ATTRIBUTE = 2
+    MISSING_WELLKNOWN_ATTRIBUTE = 3
+    ATTRIBUTE_FLAGS_ERROR = 4
+    ATTRIBUTE_LENGTH_ERROR = 5
+    INVALID_ORIGIN = 6
+    INVALID_NEXT_HOP = 8
+    OPTIONAL_ATTRIBUTE_ERROR = 9
+    INVALID_NETWORK_FIELD = 10
+    MALFORMED_AS_PATH = 11
+
+
+class FsmSub(IntEnum):
+    UNSPECIFIED = 0
+    UNEXPECTED_IN_OPENSENT = 1
+    UNEXPECTED_IN_OPENCONFIRM = 2
+    UNEXPECTED_IN_ESTABLISHED = 3
+
+
+class CeaseSub(IntEnum):
+    """RFC 4486 cease subcodes."""
+
+    MAX_PREFIXES_REACHED = 1
+    ADMINISTRATIVE_SHUTDOWN = 2
+    PEER_DECONFIGURED = 3
+    ADMINISTRATIVE_RESET = 4
+    CONNECTION_REJECTED = 5
+    OTHER_CONFIGURATION_CHANGE = 6
+    CONNECTION_COLLISION_RESOLUTION = 7
+    OUT_OF_RESOURCES = 8
+
+
+class BGPError(Exception):
+    """Base BGP protocol error, carrying NOTIFICATION (code, subcode, data)."""
+
+    code = ErrorCode.FSM_ERROR
+    subcode = 0
+
+    def __init__(self, message: str = "", subcode: int = None, data: bytes = b""):
+        super().__init__(message)
+        if subcode is not None:
+            self.subcode = subcode
+        self.data = data
+
+
+class MessageDecodeError(BGPError):
+    code = ErrorCode.MESSAGE_HEADER
+    subcode = HeaderSub.BAD_MESSAGE_LENGTH
+
+
+class OpenError(BGPError):
+    code = ErrorCode.OPEN_MESSAGE
+    subcode = OpenSub.UNSUPPORTED_VERSION
+
+
+class UpdateError(BGPError):
+    code = ErrorCode.UPDATE_MESSAGE
+    subcode = UpdateSub.MALFORMED_ATTRIBUTE_LIST

@@ -1,0 +1,95 @@
+"""The BGP finite state machine (RFC 4271 §8).
+
+The FSM is factored out of the session so its transition table can be
+tested exhaustively.  It models the six states and the events relevant to
+a message-channel transport (there is no TCP SYN handling; "transport
+connected" collapses Connect/Active into a single notion driven by the
+channel layer).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["State", "FsmEvent", "FsmError", "BGPStateMachine"]
+
+
+class State(Enum):
+    IDLE = auto()
+    CONNECT = auto()
+    ACTIVE = auto()
+    OPEN_SENT = auto()
+    OPEN_CONFIRM = auto()
+    ESTABLISHED = auto()
+
+
+class FsmEvent(Enum):
+    MANUAL_START = auto()
+    MANUAL_STOP = auto()
+    TRANSPORT_CONNECTED = auto()
+    TRANSPORT_FAILED = auto()
+    OPEN_RECEIVED = auto()
+    KEEPALIVE_RECEIVED = auto()
+    UPDATE_RECEIVED = auto()
+    NOTIFICATION_RECEIVED = auto()
+    HOLD_TIMER_EXPIRED = auto()
+    OPEN_INVALID = auto()
+
+
+class FsmError(Exception):
+    """An event arrived that is illegal in the current state."""
+
+
+# (state, event) -> new state.  Events absent for a state are FSM errors,
+# except the universally-resetting ones handled in `fire`.
+_TRANSITIONS: Dict[Tuple[State, FsmEvent], State] = {
+    (State.IDLE, FsmEvent.MANUAL_START): State.CONNECT,
+    (State.CONNECT, FsmEvent.TRANSPORT_CONNECTED): State.OPEN_SENT,
+    (State.CONNECT, FsmEvent.TRANSPORT_FAILED): State.ACTIVE,
+    (State.ACTIVE, FsmEvent.TRANSPORT_CONNECTED): State.OPEN_SENT,
+    (State.ACTIVE, FsmEvent.TRANSPORT_FAILED): State.ACTIVE,
+    (State.OPEN_SENT, FsmEvent.OPEN_RECEIVED): State.OPEN_CONFIRM,
+    (State.OPEN_CONFIRM, FsmEvent.KEEPALIVE_RECEIVED): State.ESTABLISHED,
+    (State.ESTABLISHED, FsmEvent.KEEPALIVE_RECEIVED): State.ESTABLISHED,
+    (State.ESTABLISHED, FsmEvent.UPDATE_RECEIVED): State.ESTABLISHED,
+}
+
+# Events that send any state back to IDLE.
+_RESET_EVENTS = {
+    FsmEvent.MANUAL_STOP,
+    FsmEvent.NOTIFICATION_RECEIVED,
+    FsmEvent.HOLD_TIMER_EXPIRED,
+    FsmEvent.OPEN_INVALID,
+}
+
+
+class BGPStateMachine:
+    """Tracks session state; optional observers see every transition."""
+
+    def __init__(self) -> None:
+        self.state = State.IDLE
+        self.history: List[Tuple[State, FsmEvent, State]] = []
+        self.observers: List[Callable[[State, FsmEvent, State], None]] = []
+
+    def fire(self, event: FsmEvent) -> State:
+        """Apply ``event``; returns the new state or raises FsmError."""
+        if event in _RESET_EVENTS:
+            new = State.IDLE
+        else:
+            key = (self.state, event)
+            if key not in _TRANSITIONS:
+                raise FsmError(f"event {event.name} illegal in state {self.state.name}")
+            new = _TRANSITIONS[key]
+        old, self.state = self.state, new
+        self.history.append((old, event, new))
+        for observer in self.observers:
+            observer(old, event, new)
+        return new
+
+    @property
+    def established(self) -> bool:
+        return self.state == State.ESTABLISHED
+
+    def can_fire(self, event: FsmEvent) -> bool:
+        return event in _RESET_EVENTS or (self.state, event) in _TRANSITIONS

@@ -1,0 +1,168 @@
+"""MRT-style export of BGP updates and table dumps (RFC 6396 subset).
+
+PEERING automatically collects control-plane measurements toward its
+prefixes (§3 "Easing management").  The collectors in
+:mod:`repro.core.measurements` persist what they see in MRT records so the
+output can be processed like a RouteViews feed.
+
+Implemented record types:
+
+* ``BGP4MP_MESSAGE_AS4`` (type 16, subtype 4) wrapping a raw UPDATE.
+* ``TABLE_DUMP_V2`` PEER_INDEX_TABLE (13/1) and RIB_IPV4_UNICAST (13/2).
+
+The binary layout follows the RFC closely enough that records round-trip
+through our own reader; interchange with external tooling is best-effort.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List, Optional, Sequence, Tuple
+
+from ..net.addr import IPAddress, Prefix
+from .attributes import PathAttributes
+from .messages import UpdateMessage, HEADER_LEN
+from .rib import Route
+
+__all__ = [
+    "MRT_BGP4MP",
+    "MRT_TABLE_DUMP_V2",
+    "MrtRecord",
+    "write_update",
+    "write_table_dump",
+    "read_records",
+]
+
+MRT_BGP4MP = 16
+BGP4MP_MESSAGE_AS4 = 4
+MRT_TABLE_DUMP_V2 = 13
+TD2_PEER_INDEX = 1
+TD2_RIB_IPV4_UNICAST = 2
+
+
+@dataclass(frozen=True)
+class MrtRecord:
+    timestamp: int
+    type: int
+    subtype: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!IHHI", self.timestamp, self.type, self.subtype, len(self.data))
+            + self.data
+        )
+
+
+def write_update(
+    out: BinaryIO,
+    timestamp: float,
+    local_asn: int,
+    peer_asn: int,
+    peer_address: IPAddress,
+    local_address: IPAddress,
+    update: UpdateMessage,
+) -> None:
+    """Append one BGP4MP_MESSAGE_AS4 record wrapping ``update``."""
+    raw = update.encode()
+    body = (
+        struct.pack("!IIHH", peer_asn, local_asn, 0, 1)  # ifindex=0, AFI=1
+        + peer_address.packed()
+        + local_address.packed()
+        + raw
+    )
+    record = MrtRecord(int(timestamp), MRT_BGP4MP, BGP4MP_MESSAGE_AS4, body)
+    out.write(record.encode())
+
+
+def write_table_dump(
+    out: BinaryIO,
+    timestamp: float,
+    collector_id: IPAddress,
+    routes: Sequence[Route],
+) -> int:
+    """Write a PEER_INDEX_TABLE followed by one RIB entry per prefix.
+
+    Returns the number of RIB records written.  Routes are grouped by
+    prefix; each group becomes one RIB_IPV4_UNICAST record whose entries
+    reference peers by index.
+    """
+    peers: List[Tuple[int, str]] = []
+    peer_index = {}
+    for route in routes:
+        key = (route.peer_asn or 0, route.peer_id)
+        if key not in peer_index:
+            peer_index[key] = len(peers)
+            peers.append(key)
+
+    body = collector_id.packed() + struct.pack("!H", 0)  # no view name
+    body += struct.pack("!H", len(peers))
+    for asn, peer_id in peers:
+        try:
+            address = IPAddress(peer_id)
+        except Exception:
+            address = IPAddress(0, 4)
+        # peer type 2 = AS4 + IPv4 address
+        body += bytes([2]) + IPAddress(0, 4).packed() + address.packed() + struct.pack("!I", asn)
+    out.write(MrtRecord(int(timestamp), MRT_TABLE_DUMP_V2, TD2_PEER_INDEX, body).encode())
+
+    by_prefix = {}
+    for route in routes:
+        by_prefix.setdefault(route.prefix, []).append(route)
+
+    seq = 0
+    for prefix in sorted(by_prefix):
+        group = by_prefix[prefix]
+        entry_blob = b""
+        for route in group:
+            attrs = _encode_rib_attributes(route.attributes)
+            idx = peer_index[(route.peer_asn or 0, route.peer_id)]
+            entry_blob += struct.pack("!HIH", idx, int(route.learned_at), len(attrs)) + attrs
+        nbytes = (prefix.length + 7) // 8
+        body = (
+            struct.pack("!IB", seq, prefix.length)
+            + prefix.address.packed()[:nbytes]
+            + struct.pack("!H", len(group))
+            + entry_blob
+        )
+        out.write(
+            MrtRecord(int(timestamp), MRT_TABLE_DUMP_V2, TD2_RIB_IPV4_UNICAST, body).encode()
+        )
+        seq += 1
+    return seq
+
+
+def _encode_rib_attributes(attributes: PathAttributes) -> bytes:
+    from .messages import _encode_attributes  # shared with the UPDATE codec
+
+    return _encode_attributes(attributes)
+
+
+def read_records(data: bytes) -> Iterator[MrtRecord]:
+    """Iterate the MRT records in ``data``."""
+    i = 0
+    while i < len(data):
+        if i + 12 > len(data):
+            raise ValueError("truncated MRT header")
+        timestamp, rtype, subtype, length = struct.unpack_from("!IHHI", data, i)
+        i += 12
+        if i + length > len(data):
+            raise ValueError("truncated MRT record body")
+        yield MrtRecord(timestamp, rtype, subtype, data[i : i + length])
+        i += length
+
+
+def decode_update_record(record: MrtRecord) -> Tuple[int, int, UpdateMessage]:
+    """Decode a BGP4MP_MESSAGE_AS4 record to (peer_asn, local_asn, update)."""
+    if record.type != MRT_BGP4MP or record.subtype != BGP4MP_MESSAGE_AS4:
+        raise ValueError("not a BGP4MP_MESSAGE_AS4 record")
+    peer_asn, local_asn, _ifindex, afi = struct.unpack_from("!IIHH", record.data, 0)
+    addr_len = 4 if afi == 1 else 16
+    offset = 12 + 2 * addr_len
+    from .messages import decode
+
+    update = decode(record.data[offset:])
+    if not isinstance(update, UpdateMessage):
+        raise ValueError("MRT record does not wrap an UPDATE")
+    return peer_asn, local_asn, update

@@ -1,0 +1,192 @@
+"""Routing Information Bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+
+A :class:`Route` binds a prefix to its path attributes and bookkeeping
+(which peer sent it, its ADD-PATH identifier, whether it is locally
+originated).  The three RIB stages follow RFC 4271 §3.2:
+
+* :class:`AdjRIBIn` — routes learned from one peer, pre-policy.
+* :class:`LocRIB` — the routes the decision process selected, one best
+  route per prefix plus the losing candidates (kept for ADD-PATH export
+  and for fast reconvergence on withdrawal).
+* :class:`AdjRIBOut` — what has been advertised to one peer, post-policy,
+  used to suppress duplicate updates and to generate withdrawals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..net.addr import Prefix
+from .attributes import PathAttributes
+
+__all__ = ["Route", "AdjRIBIn", "LocRIB", "AdjRIBOut"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One candidate path for one prefix."""
+
+    prefix: Prefix
+    attributes: PathAttributes
+    peer_asn: Optional[int] = None
+    peer_id: str = ""
+    path_id: Optional[int] = None
+    ebgp: bool = True
+    local: bool = False
+    weight: int = 0
+    igp_metric: int = 0
+    learned_at: float = 0.0
+
+    def with_attributes(self, attributes: PathAttributes) -> "Route":
+        return replace(self, attributes=attributes)
+
+    def key(self) -> Tuple[str, Optional[int]]:
+        """Identity of this route within a prefix: (peer, path id)."""
+        return (self.peer_id, self.path_id)
+
+    def __str__(self) -> str:
+        origin = "local" if self.local else f"peer {self.peer_id or self.peer_asn}"
+        return f"{self.prefix} via {origin}: {self.attributes}"
+
+
+class AdjRIBIn:
+    """Routes received from a single peer, keyed by (prefix, path id).
+
+    Without ADD-PATH there is implicitly one path per prefix (path id
+    ``None``), so a new announcement replaces the old one.
+    """
+
+    def __init__(self, peer_id: str = "") -> None:
+        self.peer_id = peer_id
+        self._routes: Dict[Prefix, Dict[Optional[int], Route]] = {}
+
+    def add(self, route: Route) -> Optional[Route]:
+        """Insert/replace; returns the replaced route if any."""
+        slot = self._routes.setdefault(route.prefix, {})
+        previous = slot.get(route.path_id)
+        slot[route.path_id] = route
+        return previous
+
+    def remove(self, prefix: Prefix, path_id: Optional[int] = None) -> Optional[Route]:
+        slot = self._routes.get(prefix)
+        if not slot:
+            return None
+        route = slot.pop(path_id, None)
+        if not slot:
+            del self._routes[prefix]
+        return route
+
+    def remove_all(self, prefix: Prefix) -> List[Route]:
+        slot = self._routes.pop(prefix, None)
+        return list(slot.values()) if slot else []
+
+    def get(self, prefix: Prefix, path_id: Optional[int] = None) -> Optional[Route]:
+        return self._routes.get(prefix, {}).get(path_id)
+
+    def routes_for(self, prefix: Prefix) -> List[Route]:
+        return list(self._routes.get(prefix, {}).values())
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+    def routes(self) -> Iterator[Route]:
+        for slot in self._routes.values():
+            yield from slot.values()
+
+    def clear(self) -> List[Route]:
+        """Drop everything (session reset); returns what was dropped."""
+        dropped = list(self.routes())
+        self._routes.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return sum(len(slot) for slot in self._routes.values())
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+
+class LocRIB:
+    """Selected routes: one best per prefix plus ranked alternates."""
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, Route] = {}
+        self._candidates: Dict[Prefix, List[Route]] = {}
+
+    def set(self, prefix: Prefix, best: Optional[Route], candidates: List[Route]) -> bool:
+        """Install the decision outcome; returns True if the best changed."""
+        previous = self._best.get(prefix)
+        if best is None:
+            self._best.pop(prefix, None)
+            self._candidates.pop(prefix, None)
+            return previous is not None
+        self._best[prefix] = best
+        self._candidates[prefix] = candidates
+        return previous != best
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        return self._best.get(prefix)
+
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        return self._candidates.get(prefix, [])
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._best)
+
+    def routes(self) -> Iterator[Route]:
+        return iter(self._best.values())
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._best
+
+
+class AdjRIBOut:
+    """What has been advertised to one peer (post export policy)."""
+
+    def __init__(self, peer_id: str = "") -> None:
+        self.peer_id = peer_id
+        self._routes: Dict[Prefix, Dict[Optional[int], Route]] = {}
+
+    def advertise(self, route: Route) -> bool:
+        """Record an advertisement; returns False if identical already sent."""
+        slot = self._routes.setdefault(route.prefix, {})
+        if slot.get(route.path_id) == route:
+            return False
+        slot[route.path_id] = route
+        return True
+
+    def withdraw(self, prefix: Prefix, path_id: Optional[int] = None) -> Optional[Route]:
+        slot = self._routes.get(prefix)
+        if not slot:
+            return None
+        route = slot.pop(path_id, None)
+        if not slot:
+            self._routes.pop(prefix, None)
+        return route
+
+    def withdraw_all(self, prefix: Prefix) -> List[Route]:
+        slot = self._routes.pop(prefix, None)
+        return list(slot.values()) if slot else []
+
+    def get(self, prefix: Prefix, path_id: Optional[int] = None) -> Optional[Route]:
+        return self._routes.get(prefix, {}).get(path_id)
+
+    def path_ids(self, prefix: Prefix) -> List[Optional[int]]:
+        return list(self._routes.get(prefix, {}).keys())
+
+    def prefixes(self) -> Iterator[Prefix]:
+        return iter(self._routes)
+
+    def routes(self) -> Iterator[Route]:
+        for slot in self._routes.values():
+            yield from slot.values()
+
+    def __len__(self) -> int:
+        return sum(len(slot) for slot in self._routes.values())
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes

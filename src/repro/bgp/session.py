@@ -1,0 +1,335 @@
+"""A BGP session: FSM + timers + codec over a message channel.
+
+:class:`BGPSession` drives one peering.  It encodes/decodes real message
+bytes (via :mod:`repro.bgp.messages`), negotiates capabilities (4-octet AS
+always; ADD-PATH when both sides configure it), runs keepalive and hold
+timers on the discrete-event engine, and hands decoded UPDATEs to its
+owner through the ``on_update`` callback.
+
+Sessions come in pairs over a :class:`~repro.net.channel.ChannelPair`; the
+convenience function :func:`connect` wires two sessions together and
+starts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..net.addr import IPAddress, Prefix
+from ..net.channel import ChannelClosed, Endpoint
+from ..sim.engine import Engine, Timer
+from .attributes import PathAttributes
+from .errors import BGPError, ErrorCode, OpenError, OpenSub
+from .fsm import BGPStateMachine, FsmEvent, State
+from .messages import (
+    AddPathDirection,
+    Capability,
+    CapabilityCode,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+    decode,
+)
+
+__all__ = ["SessionConfig", "BGPSession", "connect"]
+
+DEFAULT_HOLD_TIME = 90
+KEEPALIVE_FRACTION = 3  # keepalive = hold / 3, per convention
+
+
+@dataclass
+class SessionConfig:
+    """Static configuration for one side of a session."""
+
+    local_asn: int
+    peer_asn: int
+    local_id: IPAddress
+    hold_time: int = DEFAULT_HOLD_TIME
+    add_path: bool = False
+    passive: bool = False
+    description: str = ""
+
+    def capabilities(self) -> List[Capability]:
+        caps = [
+            Capability.multiprotocol(),
+            Capability.four_octet_as(self.local_asn),
+            Capability(CapabilityCode.ROUTE_REFRESH),
+        ]
+        if self.add_path:
+            caps.append(Capability.add_path(AddPathDirection.BOTH))
+        return caps
+
+
+class BGPSession:
+    """One side of a BGP peering over a message channel.
+
+    Callbacks (all optional):
+
+    * ``on_update(session, UpdateMessage)`` — a decoded UPDATE arrived.
+    * ``on_established(session)`` — the session reached ESTABLISHED.
+    * ``on_down(session, reason)`` — the session left ESTABLISHED.
+    * ``on_route_refresh(session)`` — peer asked for re-advertisement.
+    """
+
+    def __init__(self, engine: Engine, config: SessionConfig, endpoint: Endpoint) -> None:
+        self.engine = engine
+        self.config = config
+        self.endpoint = endpoint
+        self.fsm = BGPStateMachine()
+        endpoint.on_receive = self._on_bytes
+        endpoint.on_close = self._on_channel_close
+        # Messages that arrived before this session attached (e.g. the
+        # remote side opened first) sit in the endpoint queue; take them.
+        self._backlog = endpoint.drain()
+
+        self.on_update: Optional[Callable[["BGPSession", UpdateMessage], None]] = None
+        self.on_established: Optional[Callable[["BGPSession"], None]] = None
+        self.on_down: Optional[Callable[["BGPSession", str], None]] = None
+        self.on_route_refresh: Optional[Callable[["BGPSession"], None]] = None
+
+        self.negotiated_hold_time = config.hold_time
+        self.add_path_active = False
+        self.peer_open: Optional[OpenMessage] = None
+
+        self._hold_timer: Timer = engine.timer(
+            config.hold_time, self._hold_expired, label=f"hold:{config.description}"
+        )
+        self._keepalive_timer: Timer = engine.timer(
+            max(1, config.hold_time // KEEPALIVE_FRACTION),
+            self._send_keepalive,
+            label=f"keepalive:{config.description}",
+        )
+
+        self.updates_sent = 0
+        self.updates_received = 0
+        self.last_error: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin session establishment (send OPEN unless passive)."""
+        # Replay anything the peer sent before we attached to the channel:
+        # its OPEN lands while we are IDLE and triggers the implicit-start
+        # path, preserving message ordering.
+        backlog, self._backlog = self._backlog, []
+        for message in backlog:
+            self._on_bytes(message)
+        if self.fsm.state != State.IDLE:
+            return  # already started (e.g. implicitly by the peer's OPEN)
+        self.fsm.fire(FsmEvent.MANUAL_START)
+        if not self.endpoint.connected:
+            self.fsm.fire(FsmEvent.TRANSPORT_FAILED)
+            return
+        self.fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+        self._send_open()
+
+    def stop(self, reason: str = "administrative shutdown") -> None:
+        """Administratively stop; sends CEASE if the channel is up."""
+        if self.fsm.state == State.IDLE:
+            return
+        was_established = self.fsm.established
+        try:
+            self._send(NotificationMessage(ErrorCode.CEASE, 2).encode())
+        except ChannelClosed:
+            pass
+        self.fsm.fire(FsmEvent.MANUAL_STOP)
+        self._teardown(reason, was_established)
+
+    @property
+    def established(self) -> bool:
+        return self.fsm.established
+
+    # -- sending -----------------------------------------------------------
+
+    def announce(
+        self,
+        prefixes: Sequence[Prefix],
+        attributes: PathAttributes,
+        path_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Send an UPDATE announcing ``prefixes`` with ``attributes``."""
+        if path_ids is not None and not self.add_path_active:
+            raise BGPError("path_ids supplied but ADD-PATH not negotiated")
+        update = UpdateMessage.announce(prefixes, attributes, path_ids=path_ids)
+        self.send_update(update)
+
+    def withdraw(
+        self, prefixes: Sequence[Prefix], path_ids: Optional[Sequence[int]] = None
+    ) -> None:
+        if path_ids is not None and not self.add_path_active:
+            raise BGPError("path_ids supplied but ADD-PATH not negotiated")
+        self.send_update(UpdateMessage.withdraw(prefixes, path_ids=path_ids))
+
+    def send_update(self, update: UpdateMessage) -> None:
+        if not self.fsm.established:
+            raise BGPError(f"session {self.config.description!r} not established")
+        self._send(update.encode())
+        self.updates_sent += 1
+        self._keepalive_timer.start()
+
+    def request_refresh(self) -> None:
+        if not self.fsm.established:
+            raise BGPError("cannot refresh a down session")
+        self._send(RouteRefreshMessage().encode())
+
+    def _send(self, data: bytes) -> None:
+        self.endpoint.send(data)
+
+    def _send_open(self) -> None:
+        open_msg = OpenMessage(
+            asn=self.config.local_asn,
+            hold_time=self.config.hold_time,
+            bgp_id=self.config.local_id,
+            capabilities=tuple(self.config.capabilities()),
+        )
+        self._send(open_msg.encode())
+
+    def _send_keepalive(self) -> None:
+        if self.fsm.state in (State.OPEN_CONFIRM, State.ESTABLISHED):
+            try:
+                self._send(KeepaliveMessage().encode())
+            except ChannelClosed:
+                self._transport_lost()
+                return
+            self._keepalive_timer.start()
+
+    # -- receiving ---------------------------------------------------------
+
+    def _on_bytes(self, data: bytes) -> None:
+        try:
+            message = decode(data, add_path=self.add_path_active)
+        except BGPError as error:
+            self._protocol_error(error)
+            return
+        try:
+            self._dispatch(message)
+        except BGPError as error:
+            self._protocol_error(error)
+
+    def _dispatch(self, message) -> None:
+        if isinstance(message, OpenMessage):
+            self._handle_open(message)
+        elif isinstance(message, KeepaliveMessage):
+            self._handle_keepalive()
+        elif isinstance(message, UpdateMessage):
+            self._handle_update(message)
+        elif isinstance(message, NotificationMessage):
+            self._handle_notification(message)
+        elif isinstance(message, RouteRefreshMessage):
+            if self.fsm.established and self.on_route_refresh is not None:
+                self.on_route_refresh(self)
+
+    def _handle_open(self, message: OpenMessage) -> None:
+        if self.fsm.state == State.IDLE:
+            # Not yet started (passive side, or the other side of a
+            # simultaneous open): the peer's OPEN triggers ours.
+            self.fsm.fire(FsmEvent.MANUAL_START)
+            self.fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+            self._send_open()
+        if self.fsm.state != State.OPEN_SENT:
+            raise BGPError("OPEN in unexpected state")
+        if message.real_asn != self.config.peer_asn:
+            self.fsm.fire(FsmEvent.OPEN_INVALID)
+            notification = NotificationMessage(ErrorCode.OPEN_MESSAGE, OpenSub.BAD_PEER_AS)
+            try:
+                self._send(notification.encode())
+            except ChannelClosed:
+                pass
+            self._teardown(f"bad peer AS {message.real_asn}", False)
+            return
+        self.peer_open = message
+        self.negotiated_hold_time = min(self.config.hold_time, message.hold_time)
+        self.add_path_active = self.config.add_path and message.supports_add_path
+        self.fsm.fire(FsmEvent.OPEN_RECEIVED)
+        self._send(KeepaliveMessage().encode())
+        if self.negotiated_hold_time > 0:
+            self._hold_timer.start(self.negotiated_hold_time)
+            self._keepalive_timer.start(max(1, self.negotiated_hold_time // KEEPALIVE_FRACTION))
+
+    def _handle_keepalive(self) -> None:
+        if self.fsm.state == State.OPEN_CONFIRM:
+            self.fsm.fire(FsmEvent.KEEPALIVE_RECEIVED)
+            if self.on_established is not None:
+                self.on_established(self)
+        elif self.fsm.state == State.ESTABLISHED:
+            self.fsm.fire(FsmEvent.KEEPALIVE_RECEIVED)
+        else:
+            raise BGPError("KEEPALIVE in unexpected state")
+        if self.negotiated_hold_time > 0:
+            self._hold_timer.start(self.negotiated_hold_time)
+
+    def _handle_update(self, message: UpdateMessage) -> None:
+        if not self.fsm.established:
+            raise BGPError("UPDATE before ESTABLISHED")
+        self.fsm.fire(FsmEvent.UPDATE_RECEIVED)
+        self.updates_received += 1
+        if self.negotiated_hold_time > 0:
+            self._hold_timer.start(self.negotiated_hold_time)
+        if self.on_update is not None:
+            self.on_update(self, message)
+
+    def _handle_notification(self, message: NotificationMessage) -> None:
+        was_established = self.fsm.established
+        self.fsm.fire(FsmEvent.NOTIFICATION_RECEIVED)
+        self._teardown(str(message), was_established)
+
+    # -- failure paths -------------------------------------------------------
+
+    def _hold_expired(self) -> None:
+        was_established = self.fsm.established
+        try:
+            self._send(
+                NotificationMessage(ErrorCode.HOLD_TIMER_EXPIRED).encode()
+            )
+        except ChannelClosed:
+            pass
+        self.fsm.fire(FsmEvent.HOLD_TIMER_EXPIRED)
+        self._teardown("hold timer expired", was_established)
+
+    def _protocol_error(self, error: BGPError) -> None:
+        was_established = self.fsm.established
+        try:
+            self._send(NotificationMessage(error.code, error.subcode).encode())
+        except ChannelClosed:
+            pass
+        if self.fsm.state != State.IDLE:
+            self.fsm.fire(FsmEvent.MANUAL_STOP)
+        self._teardown(f"protocol error: {error}", was_established)
+
+    def _on_channel_close(self) -> None:
+        self._transport_lost()
+
+    def _transport_lost(self) -> None:
+        if self.fsm.state == State.IDLE:
+            return
+        was_established = self.fsm.established
+        self.fsm.fire(FsmEvent.MANUAL_STOP)
+        self._teardown("transport lost", was_established)
+
+    def _teardown(self, reason: str, was_established: bool) -> None:
+        self.last_error = reason
+        self._hold_timer.stop()
+        self._keepalive_timer.stop()
+        if was_established and self.on_down is not None:
+            self.on_down(self, reason)
+
+
+def connect(
+    engine: Engine,
+    left: BGPSession,
+    right: BGPSession,
+) -> None:
+    """Start both sessions (one should be passive for a clean handshake).
+
+    With neither passive, both send OPEN simultaneously — also valid here
+    since the message channel has no connection collision.
+    """
+    if left.config.passive and right.config.passive:
+        raise BGPError("both sessions passive; nobody will send OPEN")
+    if not left.config.passive:
+        left.start()
+    if not right.config.passive:
+        right.start()

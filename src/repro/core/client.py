@@ -1,0 +1,207 @@
+"""PEERING clients — the researcher-side handle.
+
+A client connects to one or more servers over tunnels and (optionally)
+real BGP sessions, then drives experiments:
+
+* :meth:`PeeringClient.announce` / :meth:`withdraw` — the programmatic
+  control path (what the paper's prototype web service exposes), with
+  per-server and per-peer selection, prepending, and poisoning.
+* :meth:`attach_bgp` — a full client-side BGP speaker per mux session,
+  for experiments that bring their own router (e.g. a MinineXt gateway).
+* :meth:`send` / ``on_packet`` — data-plane access through the tunnels.
+* :meth:`routes_toward` — the per-peer routes each mux hears for a
+  destination (the "routes exported by each peer, not just the best"
+  property from §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bgp.router import BGPRouter, PeerConfig
+from ..bgp.session import BGPSession
+from ..inet.dataplane import Delivery
+from ..inet.routing import ASRoute
+from ..net.addr import IPAddress, Prefix
+from ..net.channel import Endpoint
+from ..net.packet import Packet
+from ..net.tunnel import TunnelEndpoint
+from .experiment import Experiment
+from .safety import SafetyDecision
+from .server import AnnouncementSpec, MuxMode, PeeringServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .testbed import Testbed
+
+__all__ = ["Attachment", "PeeringClient"]
+
+
+@dataclass
+class Attachment:
+    """Client-side state for one server connection."""
+
+    server: PeeringServer
+    mode: MuxMode
+    tunnel: TunnelEndpoint
+    endpoints: Dict[int, Endpoint]
+    router: Optional[BGPRouter] = None
+    sessions: Dict[int, BGPSession] = field(default_factory=dict)
+
+
+class PeeringClient:
+    """A researcher's client, bound to one experiment."""
+
+    def __init__(self, testbed: "Testbed", client_id: str, experiment: Experiment) -> None:
+        self.testbed = testbed
+        self.client_id = client_id
+        self.experiment = experiment
+        self.attachments: Dict[str, Attachment] = {}
+        self.on_packet: Optional[Callable[[Packet], None]] = None
+        self.received_packets: List[Packet] = []
+
+    @property
+    def prefixes(self) -> List[Prefix]:
+        return list(self.experiment.prefixes)
+
+    # -- attachment -------------------------------------------------------------
+
+    def attach(
+        self,
+        server_name: str,
+        mode: MuxMode = MuxMode.QUAGGA,
+        peer_asns: Optional[Iterable[int]] = None,
+        client_asn: int = 64512,
+    ) -> Attachment:
+        """Connect to a server (tunnel + session endpoints reserved)."""
+        server = self.testbed.server(server_name)
+        tunnel, endpoints = server.connect_client(
+            self.client_id, mode=mode, peer_asns=peer_asns, client_asn=client_asn
+        )
+        tunnel.on_packet = self._packet_in
+        attachment = Attachment(
+            server=server, mode=mode, tunnel=tunnel, endpoints=endpoints
+        )
+        self.attachments[server_name] = attachment
+        self.testbed.attach_client_server(self.client_id, server_name)
+        return attachment
+
+    def attach_bgp(
+        self,
+        server_name: str,
+        mode: MuxMode = MuxMode.QUAGGA,
+        local_asn: int = 64512,
+        peer_asns: Optional[Iterable[int]] = None,
+    ) -> BGPRouter:
+        """Attach and bring up real client-side BGP sessions.
+
+        Returns the client-side router; announcing a prefix from it is
+        delivered to the mux over the wire-format sessions, runs the
+        safety gauntlet, and (if clean) reaches the Internet substrate.
+        """
+        attachment = self.attach(
+            server_name, mode=mode, peer_asns=peer_asns, client_asn=local_asn
+        )
+        router = BGPRouter(
+            self.testbed.engine,
+            asn=local_asn,
+            router_id=attachment.tunnel.address,
+        )
+        attachment.router = router
+        for key, endpoint in sorted(attachment.endpoints.items()):
+            config = PeerConfig(
+                peer_id=f"mux-{server_name}-{key}",
+                remote_asn=self.testbed.asn,
+                local_address=attachment.tunnel.address,
+                add_path=(mode is MuxMode.BIRD),
+                description=f"{self.client_id}->{server_name}[{key}]",
+            )
+            session = router.add_peer(config, endpoint)
+            attachment.sessions[key] = session
+            session.start()
+        return router
+
+    def detach(self, server_name: str) -> None:
+        attachment = self.attachments.pop(server_name, None)
+        if attachment is None:
+            return
+        attachment.server.disconnect_client(self.client_id)
+
+    def _require(self, server_name: str) -> Attachment:
+        try:
+            return self.attachments[server_name]
+        except KeyError:
+            raise ValueError(
+                f"client {self.client_id!r} is not attached to {server_name!r}"
+            ) from None
+
+    # -- control plane ------------------------------------------------------------
+
+    def announce(
+        self,
+        prefix: Prefix,
+        servers: Optional[Sequence[str]] = None,
+        peers: Optional[Sequence[int]] = None,
+        prepend: int = 0,
+        poison: Sequence[int] = (),
+    ) -> Dict[str, SafetyDecision]:
+        """Announce ``prefix`` from the given servers (default: all
+        attached), optionally restricted to specific peers at each."""
+        results: Dict[str, SafetyDecision] = {}
+        for server_name in servers or list(self.attachments):
+            attachment = self._require(server_name)
+            spec = AnnouncementSpec(
+                peers=tuple(peers) if peers is not None else None,
+                prepend=prepend,
+                poison=tuple(poison),
+            )
+            results[server_name] = attachment.server.announce(
+                self.client_id, prefix, spec
+            )
+        return results
+
+    def withdraw(self, prefix: Prefix, servers: Optional[Sequence[str]] = None) -> None:
+        for server_name in servers or list(self.attachments):
+            attachment = self._require(server_name)
+            attachment.server.withdraw(self.client_id, prefix)
+
+    def announcements(self) -> Dict[str, Dict[Prefix, AnnouncementSpec]]:
+        return {
+            name: attachment.server.announcements_for(self.client_id)
+            for name, attachment in self.attachments.items()
+        }
+
+    def routes_toward(self, destination_asn: int) -> Dict[str, Dict[int, ASRoute]]:
+        """Per-server, per-peer routes for a destination AS."""
+        return {
+            name: attachment.server.routes_toward(destination_asn)
+            for name, attachment in self.attachments.items()
+        }
+
+    # -- data plane ------------------------------------------------------------------
+
+    def send(self, packet: Packet, via: Optional[str] = None) -> None:
+        """Send traffic through a tunnel (default: first attachment)."""
+        if not self.attachments:
+            raise ValueError("client is not attached to any server")
+        server_name = via or next(iter(self.attachments))
+        self._require(server_name).tunnel.send(packet)
+
+    def _packet_in(self, packet: Packet) -> None:
+        self.received_packets.append(packet)
+        if self.on_packet is not None:
+            self.on_packet(packet)
+
+    def ping(self, dst: IPAddress, via: Optional[str] = None) -> Delivery:
+        """Probe a destination through the testbed; returns the delivery."""
+        if not self.prefixes:
+            raise ValueError("experiment holds no prefixes to source from")
+        src = self.prefixes[0].first_address() + 1
+        server_name = via or next(iter(self.attachments))
+        attachment = self._require(server_name)
+        packet = Packet(src=src, dst=dst, proto="icmp-echo")
+        return self.testbed.inject_packet(attachment.server, self.client_id, packet)
+
+    def traceroute(self, dst: IPAddress, via: Optional[str] = None) -> List[int]:
+        """AS-level forward path from PEERING to ``dst``."""
+        return list(self.ping(dst, via=via).path)

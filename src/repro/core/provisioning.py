@@ -1,0 +1,182 @@
+"""Operational automation: the provisioning database (§3 "Easing
+management and experiment deployment").
+
+"We are automating many aspects of processes such as deploying new
+clients ..., configuring new peerings, and deploying new server sites,
+with all the relevant data tracked in a database."
+
+:class:`ProvisioningDatabase` is that database: a typed record store for
+sites, peerings, clients, and allocations with a small audit trail, plus
+:class:`Provisioner`, which runs the automated workflows against a
+:class:`~repro.core.testbed.Testbed` and records what it did.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..net.addr import Prefix
+from .server import MuxMode, SiteConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import PeeringClient
+    from .testbed import Testbed
+
+__all__ = [
+    "RecordKind",
+    "Record",
+    "ProvisioningDatabase",
+    "Provisioner",
+]
+
+
+class RecordKind(Enum):
+    SITE = "site"
+    PEERING = "peering"
+    CLIENT = "client"
+    ALLOCATION = "allocation"
+
+
+@dataclass(frozen=True)
+class Record:
+    record_id: int
+    kind: RecordKind
+    key: str
+    data: Tuple[Tuple[str, str], ...]  # frozen key/value pairs
+
+    def get(self, field_name: str) -> Optional[str]:
+        for key, value in self.data:
+            if key == field_name:
+                return value
+        return None
+
+
+class ProvisioningDatabase:
+    """Append-only record store with a current-state index."""
+
+    def __init__(self) -> None:
+        self._records: List[Record] = []
+        self._current: Dict[Tuple[RecordKind, str], Record] = {}
+        self._ids = itertools.count(1)
+
+    def upsert(self, kind: RecordKind, key: str, **data: object) -> Record:
+        record = Record(
+            record_id=next(self._ids),
+            kind=kind,
+            key=key,
+            data=tuple(sorted((k, str(v)) for k, v in data.items())),
+        )
+        self._records.append(record)
+        self._current[(kind, key)] = record
+        return record
+
+    def lookup(self, kind: RecordKind, key: str) -> Optional[Record]:
+        return self._current.get((kind, key))
+
+    def all_of(self, kind: RecordKind) -> List[Record]:
+        return [r for (k, _), r in self._current.items() if k is kind]
+
+    def history(self, kind: RecordKind, key: str) -> List[Record]:
+        return [r for r in self._records if r.kind is kind and r.key == key]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class Provisioner:
+    """Automated workflows that keep the database in sync with reality."""
+
+    def __init__(self, testbed: "Testbed", database: Optional[ProvisioningDatabase] = None) -> None:
+        self.testbed = testbed
+        self.db = database or ProvisioningDatabase()
+
+    def deploy_site(self, site: SiteConfig) -> Record:
+        """Stand up a server and record the deployment."""
+        server = self.testbed.add_server(site)
+        return self.db.upsert(
+            RecordKind.SITE,
+            site.name,
+            site_kind=site.kind.value,
+            country=site.country,
+            ixp=site.ixp or "",
+            neighbors=len(server.neighbor_asns),
+        )
+
+    def record_existing_sites(self) -> int:
+        for name, server in self.testbed.servers.items():
+            self.db.upsert(
+                RecordKind.SITE,
+                name,
+                site_kind=server.site.kind.value,
+                country=server.site.country,
+                ixp=server.site.ixp or "",
+                neighbors=len(server.neighbor_asns),
+            )
+        return len(self.testbed.servers)
+
+    def configure_peering(self, server_name: str, peer_asn: int) -> Record:
+        """Record a new bilateral peering at a site (after the IXP
+        workflow accepted it)."""
+        server = self.testbed.server(server_name)
+        if peer_asn not in server.neighbor_asns:
+            if server.site.ixp is None:
+                raise ValueError(f"{server_name} has no IXP for new peerings")
+            ixp = self.testbed.internet.ixps[server.site.ixp]
+            result = ixp.request_bilateral(self.testbed.asn, peer_asn)
+            if result.accepted:
+                server.neighbor_asns.add(peer_asn)
+            status = result.outcome.value
+        else:
+            status = "already-peered"
+        return self.db.upsert(
+            RecordKind.PEERING,
+            f"{server_name}/{peer_asn}",
+            server=server_name,
+            peer=peer_asn,
+            status=status,
+        )
+
+    def deploy_client(
+        self,
+        name: str,
+        researcher: str,
+        server_names: List[str],
+        mode: MuxMode = MuxMode.QUAGGA,
+        prefix_count: int = 1,
+    ) -> "PeeringClient":
+        """The §3 client workflow: vet, allocate prefixes, establish data
+        and control plane connectivity, record everything."""
+        client = self.testbed.register_client(
+            name, researcher=researcher, prefix_count=prefix_count
+        )
+        for server_name in server_names:
+            client.attach(server_name, mode=mode)
+        for prefix in client.prefixes:
+            self.db.upsert(
+                RecordKind.ALLOCATION,
+                str(prefix),
+                owner=name,
+                prefix=str(prefix),
+            )
+        self.db.upsert(
+            RecordKind.CLIENT,
+            name,
+            researcher=researcher,
+            servers=",".join(server_names),
+            mode=mode.value,
+            prefixes=",".join(str(p) for p in client.prefixes),
+        )
+        return client
+
+    def decommission_client(self, name: str) -> None:
+        client_record = self.db.lookup(RecordKind.CLIENT, name)
+        if client_record is None:
+            raise ValueError(f"unknown client {name!r}")
+        servers = (client_record.get("servers") or "").split(",")
+        for server_name in [s for s in servers if s]:
+            self.testbed.server(server_name).disconnect_client(name)
+        self.testbed.retire_experiment(name)
+        self.db.upsert(RecordKind.CLIENT, name, status="retired")

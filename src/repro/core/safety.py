@@ -1,0 +1,216 @@
+"""Safety enforcement at PEERING servers (§3 "Enforcing safety").
+
+Because servers interpose between clients and the Internet on both
+planes, they are where the testbed's guarantees live:
+
+* **Prefix filters** — a client may only announce prefixes allocated to
+  its experiment; anything else (a hijack, a leak of a learned route, a
+  less-specific covering PEERING space) is rejected.
+* **Origin filters** — the AS path of a client announcement must
+  originate in the client's own (possibly private, emulated) AS or be
+  empty; learned Internet routes re-announced by a client are leaks and
+  are rejected.
+* **Private-ASN stripping** — emulated domains behind a client use
+  private ASNs; the mux strips them so the Internet sees only the
+  PEERING ASN (§3 "Controlling interdomain topology").
+* **Route-flap damping** — a misbehaving client cannot subject real
+  peers to update storms.
+* **Announcement rate limiting** — a per-client token bucket bounds
+  control-plane load.
+* **Spoofing control** — data-plane packets from a client must carry a
+  source inside the client's prefixes unless the experiment has an
+  explicit spoofing waiver (LIFEGUARD/Reverse-Traceroute-style studies
+  get "carefully controlled" spoofing).
+
+Every decision is recorded in an audit log entry with the rule that
+fired, so operators (and tests) can see exactly why an action was
+blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bgp.attributes import ASPath, is_private_asn
+from ..bgp.dampening import DampeningConfig, RouteFlapDamper
+from ..net.addr import IPAddress, Prefix
+from ..net.packet import Packet
+
+__all__ = [
+    "SafetyVerdict",
+    "SafetyDecision",
+    "SafetyConfig",
+    "SafetyEnforcer",
+]
+
+
+class SafetyVerdict(Enum):
+    ALLOWED = "allowed"
+    PREFIX_NOT_ALLOCATED = "prefix-not-allocated"
+    PREFIX_OUTSIDE_TESTBED = "prefix-outside-testbed"
+    PREFIX_TOO_COARSE = "prefix-too-coarse"
+    ROUTE_LEAK = "route-leak"
+    BAD_ORIGIN = "bad-origin"
+    DAMPED = "damped"
+    RATE_LIMITED = "rate-limited"
+    SPOOFED_SOURCE = "spoofed-source"
+
+
+@dataclass(frozen=True)
+class SafetyDecision:
+    verdict: SafetyVerdict
+    detail: str = ""
+    stripped_path: Optional[ASPath] = None
+
+    @property
+    def allowed(self) -> bool:
+        return self.verdict is SafetyVerdict.ALLOWED
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    max_announcements_per_window: int = 100
+    window_seconds: float = 60.0
+    dampening: DampeningConfig = field(default_factory=DampeningConfig)
+    min_prefix_length: int = 21  # nothing coarser than the pool's blocks
+    allow_spoofing_for: frozenset = frozenset()  # client ids with waivers
+
+
+class SafetyEnforcer:
+    """Stateful safety checks shared by all sessions of one server."""
+
+    def __init__(self, config: Optional[SafetyConfig] = None) -> None:
+        self.config = config or SafetyConfig()
+        self.damper = RouteFlapDamper(self.config.dampening)
+        self._windows: Dict[str, Tuple[float, int]] = {}
+        self.audit_log: List[Tuple[float, str, SafetyDecision]] = []
+
+    # -- control plane -----------------------------------------------------------
+
+    def check_announcement(
+        self,
+        client_id: str,
+        prefix: Prefix,
+        as_path: ASPath,
+        allocated: Set[Prefix],
+        testbed_space: bool,
+        now: float,
+        count_flap: bool = True,
+    ) -> SafetyDecision:
+        """Validate one client announcement.
+
+        ``allocated``: the prefixes this client's experiment holds.
+        ``testbed_space``: whether ``prefix`` is inside any PEERING pool
+        supernet (computed by the caller against the pool).
+        ``count_flap``: charge the rate limiter and flap damper.  The mux
+        passes False when a client merely *extends* an existing
+        announcement to more peers (Quagga-mode sends one UPDATE per peer
+        session for the same prefix; that is one announcement, not many).
+        """
+        decision = self._check(
+            client_id, prefix, as_path, allocated, testbed_space, now, count_flap
+        )
+        self.audit_log.append((now, client_id, decision))
+        return decision
+
+    def _check(
+        self,
+        client_id: str,
+        prefix: Prefix,
+        as_path: ASPath,
+        allocated: Set[Prefix],
+        testbed_space: bool,
+        now: float,
+        count_flap: bool = True,
+    ) -> SafetyDecision:
+        if not testbed_space:
+            return SafetyDecision(
+                SafetyVerdict.PREFIX_OUTSIDE_TESTBED,
+                f"{prefix} is not PEERING address space (hijack blocked)",
+            )
+        if prefix.length < self.config.min_prefix_length:
+            return SafetyDecision(
+                SafetyVerdict.PREFIX_TOO_COARSE,
+                f"{prefix} is coarser than /{self.config.min_prefix_length}",
+            )
+        if not any(owned.contains(prefix) for owned in allocated):
+            return SafetyDecision(
+                SafetyVerdict.PREFIX_NOT_ALLOCATED,
+                f"{prefix} is not allocated to {client_id}",
+            )
+        # Origin check: path must be empty (mux originates) or end in a
+        # private ASN (an emulated domain behind the client).  A path
+        # ending in a real public ASN means the client is re-announcing a
+        # learned route: a leak.
+        origin = as_path.origin_asn
+        if origin is not None and not is_private_asn(origin):
+            return SafetyDecision(
+                SafetyVerdict.ROUTE_LEAK,
+                f"origin AS{origin} is public: re-announcing learned routes is a leak",
+            )
+        if any(not is_private_asn(asn) for asn in as_path.asns()):
+            return SafetyDecision(
+                SafetyVerdict.BAD_ORIGIN,
+                "client paths may contain only private (emulated) ASNs",
+            )
+        if count_flap and not self._consume_token(client_id, now):
+            return SafetyDecision(
+                SafetyVerdict.RATE_LIMITED,
+                f"more than {self.config.max_announcements_per_window} announcements "
+                f"in {self.config.window_seconds}s",
+            )
+        if count_flap and self.damper.record_announcement(client_id, prefix, now):
+            return SafetyDecision(
+                SafetyVerdict.DAMPED,
+                f"{prefix} is suppressed by flap damping "
+                f"(~{self.damper.reuse_time(client_id, prefix, now):.0f}s to reuse)",
+            )
+        return SafetyDecision(
+            SafetyVerdict.ALLOWED, stripped_path=as_path.strip_private()
+        )
+
+    def check_withdrawal(self, client_id: str, prefix: Prefix, now: float) -> SafetyDecision:
+        """Withdrawals are always propagated but feed the damper."""
+        self.damper.record_withdrawal(client_id, prefix, now)
+        decision = SafetyDecision(SafetyVerdict.ALLOWED)
+        self.audit_log.append((now, client_id, decision))
+        return decision
+
+    def _consume_token(self, client_id: str, now: float) -> bool:
+        window_start, used = self._windows.get(client_id, (now, 0))
+        if now - window_start >= self.config.window_seconds:
+            window_start, used = now, 0
+        if used >= self.config.max_announcements_per_window:
+            self._windows[client_id] = (window_start, used)
+            return False
+        self._windows[client_id] = (window_start, used + 1)
+        return True
+
+    # -- data plane -------------------------------------------------------------
+
+    def check_packet(
+        self, client_id: str, packet: Packet, allocated: Set[Prefix]
+    ) -> SafetyDecision:
+        """Source-address control for client traffic entering the mux."""
+        if any(prefix.contains(packet.src) for prefix in allocated):
+            return SafetyDecision(SafetyVerdict.ALLOWED)
+        if client_id in self.config.allow_spoofing_for:
+            return SafetyDecision(
+                SafetyVerdict.ALLOWED, detail="spoofing waiver applied"
+            )
+        decision = SafetyDecision(
+            SafetyVerdict.SPOOFED_SOURCE,
+            f"source {packet.src} outside {client_id}'s prefixes and no waiver",
+        )
+        self.audit_log.append((0.0, client_id, decision))
+        return decision
+
+    # -- reporting -----------------------------------------------------------------
+
+    def blocked_count(self) -> int:
+        return sum(1 for _, _, decision in self.audit_log if not decision.allowed)
+
+    def decisions_for(self, client_id: str) -> List[SafetyDecision]:
+        return [d for _, c, d in self.audit_log if c == client_id]

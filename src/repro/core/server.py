@@ -1,0 +1,514 @@
+"""PEERING servers ("muxes").
+
+A server sits at a site — a university with transit upstreams, or an IXP
+where it peers via the route server and bilaterally — and interposes
+between researcher clients and the (simulated) Internet:
+
+* **Interdomain side**: the server's adjacencies live in the
+  :class:`~repro.inet.topology.ASGraph` under the shared PEERING ASN.
+  Client announcements become :class:`~repro.inet.routing.OriginSpec`
+  entries and propagate over the substrate; routes toward other
+  destinations are derived per-peer with
+  :meth:`~repro.inet.routing.RoutingOutcome.exports_to`.
+
+* **Client side**: real BGP sessions (full wire codec / FSM / timers) in
+  one of two modes, the §3 design choice:
+
+  - :attr:`MuxMode.QUAGGA` — one session per upstream peer per client.
+    Faithful to the deployed Transit-Portal-derived design; "cannot
+    support large IXPs with many peers".
+  - :attr:`MuxMode.BIRD` — a single session per client multiplexing all
+    peers with ADD-PATH path identifiers (the planned BIRD design).
+
+The server does **not** run best-path selection across peers — each
+peer's routes are relayed to clients separately, which is the testbed's
+core trick for giving researchers peer-level control (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bgp.attributes import ASPath, Origin, PathAttributes
+from ..bgp.messages import UpdateMessage
+from ..bgp.session import BGPSession, SessionConfig
+from ..net.addr import IPAddress, Prefix
+from ..net.channel import ChannelPair, Endpoint
+from ..net.packet import Packet
+from ..net.tunnel import Tunnel, TunnelEndpoint
+from ..sim.engine import Engine
+from ..inet.routing import ASRoute
+from .safety import SafetyDecision, SafetyEnforcer, SafetyVerdict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .testbed import Testbed
+
+__all__ = ["MuxMode", "SiteKind", "SiteConfig", "AnnouncementSpec", "PeeringServer"]
+
+
+class MuxMode(Enum):
+    QUAGGA = "quagga"  # session per upstream peer per client
+    BIRD = "bird"  # one ADD-PATH session per client
+
+
+class SiteKind(Enum):
+    UNIVERSITY = "university"
+    IXP = "ixp"
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Where a server is deployed and how it connects."""
+
+    name: str
+    kind: SiteKind
+    country: str = "US"
+    ixp: Optional[str] = None  # IXP name for IXP sites
+    upstream_asns: Tuple[int, ...] = ()  # transit providers for university sites
+
+
+@dataclass(frozen=True)
+class AnnouncementSpec:
+    """How a client wants one prefix announced from this server.
+
+    ``peers``: restrict to these peer/upstream ASNs (None = all at this
+    server) — the "pick and choose peers" control.  ``prepend`` and
+    ``poison`` steer paths; both survive safety filtering because they
+    only affect PEERING's own prefix.
+    """
+
+    peers: Optional[Tuple[int, ...]] = None
+    prepend: int = 0
+    poison: Tuple[int, ...] = ()
+
+
+class _ClientAttachment:
+    """Server-side state for one connected client."""
+
+    def __init__(self, client_id: str, mode: MuxMode, tunnel: Tunnel, local: TunnelEndpoint) -> None:
+        self.client_id = client_id
+        self.mode = mode
+        self.tunnel = tunnel
+        self.tunnel_endpoint = local
+        self.sessions: Dict[int, BGPSession] = {}  # peer asn -> session (QUAGGA)
+        self.bird_session: Optional[BGPSession] = None
+        self.path_id_by_peer: Dict[int, int] = {}
+        self.peer_by_path_id: Dict[int, int] = {}
+        self.announcements: Dict[Prefix, AnnouncementSpec] = {}
+
+    def session_count(self) -> int:
+        return len(self.sessions) + (1 if self.bird_session is not None else 0)
+
+    def path_id_for(self, peer_asn: int) -> int:
+        if peer_asn not in self.path_id_by_peer:
+            path_id = len(self.path_id_by_peer) + 1
+            self.path_id_by_peer[peer_asn] = path_id
+            self.peer_by_path_id[path_id] = peer_asn
+        return self.path_id_by_peer[peer_asn]
+
+
+class PeeringServer:
+    """One PEERING mux."""
+
+    TUNNEL_NET = Prefix("100.64.0.0/10")  # CGN space for tunnel endpoints
+
+    def __init__(
+        self,
+        testbed: "Testbed",
+        site: SiteConfig,
+        address: IPAddress,
+        safety: Optional[SafetyEnforcer] = None,
+    ) -> None:
+        self.testbed = testbed
+        self.site = site
+        self.address = address
+        self.engine: Engine = testbed.engine
+        self.asn: int = testbed.asn
+        self.safety = safety or SafetyEnforcer()
+        self.neighbor_asns: Set[int] = set()
+        self._clients: Dict[str, _ClientAttachment] = {}
+        self._next_tunnel_host = 1
+        self.updates_relayed = 0
+
+    # -- interdomain attachment --------------------------------------------------
+
+    def attach_university_upstreams(self) -> None:
+        """Buy transit from the site's configured upstream ASNs."""
+        graph = self.testbed.graph
+        for upstream in self.site.upstream_asns:
+            if upstream not in graph.providers(self.asn):
+                graph.add_provider(self.asn, upstream)
+            self.neighbor_asns.add(upstream)
+
+    def join_ixp(self, request_bilateral: bool = True) -> Dict[str, int]:
+        """Join the site's IXP: route server first, then bilateral
+        requests to open (and case-by-case) members — the §4.1 recipe.
+
+        Returns summary counts.
+        """
+        if self.site.ixp is None:
+            raise ValueError(f"site {self.site.name} has no IXP")
+        ixp = self.testbed.internet.ixps[self.site.ixp]
+        ixp.add_member(self.asn)
+        gained = ixp.join_route_server(self.asn)
+        self.neighbor_asns |= gained
+        accepted = 0
+        requested = 0
+        if request_bilateral:
+            from ..inet.topology import PeeringPolicy
+
+            graph = self.testbed.graph
+            for target in sorted(ixp.non_route_server_members()):
+                if target == self.asn:
+                    continue
+                if graph.relationship(self.asn, target) is not None:
+                    # Already related (e.g. one of our transit providers
+                    # is present here): not a new peering at this site.
+                    continue
+                policy = graph.get(target).peering_policy
+                if policy in (
+                    PeeringPolicy.OPEN,
+                    PeeringPolicy.CASE_BY_CASE,
+                    PeeringPolicy.UNLISTED,
+                ):
+                    requested += 1
+                    result = ixp.request_bilateral(self.asn, target)
+                    if result.accepted:
+                        accepted += 1
+                        self.neighbor_asns.add(target)
+        return {
+            "route_server_peers": len(gained),
+            "bilateral_requested": requested,
+            "bilateral_accepted": accepted,
+            "total_neighbors": len(self.neighbor_asns),
+        }
+
+    def peers(self) -> Set[int]:
+        return set(self.neighbor_asns)
+
+    # -- client attachment --------------------------------------------------------
+
+    def connect_client(
+        self,
+        client_id: str,
+        mode: MuxMode = MuxMode.QUAGGA,
+        client_asn: int = 64512,
+        peer_asns: Optional[Iterable[int]] = None,
+    ) -> Tuple[TunnelEndpoint, Dict[int, Endpoint]]:
+        """Attach a client: build the OpenVPN-style tunnel and the BGP
+        session endpoints the client should drive.
+
+        Returns ``(client_tunnel_endpoint, {peer_asn: channel_endpoint})``;
+        in BIRD mode the dict has a single entry keyed by 0.
+        """
+        if client_id in self._clients:
+            raise ValueError(f"client {client_id!r} already attached")
+        local_addr = self._tunnel_address()
+        remote_addr = self._tunnel_address()
+        local = TunnelEndpoint(local_addr, name=f"{self.site.name}:{client_id}:server")
+        remote = TunnelEndpoint(remote_addr, name=f"{self.site.name}:{client_id}:client")
+        tunnel = Tunnel(local, remote, rate_limit=self.testbed.tunnel_rate_limit)
+        local.on_packet = lambda packet: self._client_packet(client_id, packet)
+
+        attachment = _ClientAttachment(client_id, mode, tunnel, local)
+        self._clients[client_id] = attachment
+
+        selected = set(peer_asns) if peer_asns is not None else set(self.neighbor_asns)
+        unknown = selected - self.neighbor_asns
+        if unknown:
+            raise ValueError(f"not neighbors at {self.site.name}: {sorted(unknown)}")
+
+        endpoints: Dict[int, Endpoint] = {}
+        if mode is MuxMode.QUAGGA:
+            # One session per upstream peer: the client sees each peer as
+            # if directly connected (§3).
+            for peer_asn in sorted(selected):
+                pair = ChannelPair(f"{self.site.name}:{client_id}:{peer_asn}")
+                session = BGPSession(
+                    self.engine,
+                    SessionConfig(
+                        local_asn=self.asn,
+                        peer_asn=client_asn,
+                        local_id=self.address,
+                        passive=True,
+                        description=f"{self.site.name}/{client_id}/AS{peer_asn}",
+                    ),
+                    pair.a,
+                )
+                session.on_update = self._update_handler(attachment, peer_asn)
+                attachment.sessions[peer_asn] = session
+                endpoints[peer_asn] = pair.b
+        else:
+            pair = ChannelPair(f"{self.site.name}:{client_id}:bird")
+            session = BGPSession(
+                self.engine,
+                SessionConfig(
+                    local_asn=self.asn,
+                    peer_asn=client_asn,
+                    local_id=self.address,
+                    passive=True,
+                    add_path=True,
+                    description=f"{self.site.name}/{client_id}/bird",
+                ),
+                pair.a,
+            )
+            session.on_update = self._update_handler(attachment, None)
+            attachment.bird_session = session
+            for peer_asn in sorted(selected):
+                attachment.path_id_for(peer_asn)
+            endpoints[0] = pair.b
+        return remote, endpoints
+
+    def disconnect_client(self, client_id: str) -> None:
+        attachment = self._clients.pop(client_id, None)
+        if attachment is None:
+            return
+        for session in attachment.sessions.values():
+            session.stop("client disconnected")
+        if attachment.bird_session is not None:
+            attachment.bird_session.stop("client disconnected")
+        attachment.tunnel.take_down()
+        for prefix in list(attachment.announcements):
+            self.testbed.retract(self, client_id, prefix)
+
+    def client_session_count(self, client_id: Optional[str] = None) -> int:
+        if client_id is not None:
+            return self._clients[client_id].session_count()
+        return sum(a.session_count() for a in self._clients.values())
+
+    def _tunnel_address(self) -> IPAddress:
+        address = self.TUNNEL_NET.address + self._next_tunnel_host
+        self._next_tunnel_host += 1
+        return address
+
+    # -- client control plane ----------------------------------------------------------
+
+    def _update_handler(self, attachment: _ClientAttachment, peer_asn: Optional[int]):
+        def handle(session: BGPSession, update: UpdateMessage) -> None:
+            self._handle_client_update(attachment, peer_asn, session, update)
+
+        return handle
+
+    def _handle_client_update(
+        self,
+        attachment: _ClientAttachment,
+        peer_asn: Optional[int],
+        session: BGPSession,
+        update: UpdateMessage,
+    ) -> None:
+        """A client spoke BGP at us: vet and translate into the substrate."""
+        client_id = attachment.client_id
+        now = self.engine.now
+        allocated = self.testbed.allocated_prefixes(client_id)
+
+        for path_id, prefix in update.withdrawn:
+            target_peer = self._resolve_peer(attachment, peer_asn, path_id)
+            self.safety.check_withdrawal(client_id, prefix, now)
+            self._retract_via_peer(attachment, prefix, target_peer)
+
+        if update.attributes is not None:
+            as_path = update.attributes.as_path
+            community_peers = self._community_targets(update.attributes)
+            for path_id, prefix in update.nlri:
+                target_peer = self._resolve_peer(attachment, peer_asn, path_id)
+                # A prefix already announced by this client is being
+                # extended to another peer session: validate but do not
+                # recharge the rate limiter / flap damper.
+                is_new = prefix not in attachment.announcements
+                decision = self.safety.check_announcement(
+                    client_id,
+                    prefix,
+                    as_path,
+                    allocated=set(allocated),
+                    testbed_space=self.testbed.pool.contains(prefix),
+                    now=now,
+                    count_flap=is_new,
+                )
+                if not decision.allowed:
+                    continue
+                if community_peers is not None:
+                    # Community-steered: the client tagged PEERING:peer
+                    # communities selecting exactly which peers hear it
+                    # (how announcements are controlled over a single
+                    # session in the production testbed).
+                    for selected in sorted(community_peers & self.neighbor_asns):
+                        self._extend_announcement(attachment, prefix, selected)
+                else:
+                    self._extend_announcement(attachment, prefix, target_peer)
+
+    def _community_targets(self, attributes: PathAttributes) -> Optional[Set[int]]:
+        """Peers selected by PEERING announcement-control communities.
+
+        A community ``PEERING_ASN:X`` on a client announcement means
+        "announce this prefix to peer AS X" (X must be a 16-bit ASN, a
+        codec constraint the real testbed shares).  None = no steering
+        communities present, so the session/path-id addressing applies.
+        """
+        selected = {
+            community.value
+            for community in attributes.communities
+            if community.asn == self.asn
+        }
+        return selected or None
+
+    def _resolve_peer(
+        self, attachment: _ClientAttachment, peer_asn: Optional[int], path_id: Optional[int]
+    ) -> Optional[int]:
+        """Which upstream peer a client message addresses.
+
+        QUAGGA mode: fixed by the session.  BIRD mode: by ADD-PATH id
+        (None/0 = all peers).
+        """
+        if peer_asn is not None:
+            return peer_asn
+        if path_id in (None, 0):
+            return None
+        return attachment.peer_by_path_id.get(path_id)
+
+    def _extend_announcement(
+        self, attachment: _ClientAttachment, prefix: Prefix, peer_asn: Optional[int]
+    ) -> None:
+        spec = attachment.announcements.get(prefix)
+        if peer_asn is None:
+            new_spec = AnnouncementSpec(peers=None)
+        else:
+            current = set(spec.peers) if spec is not None and spec.peers is not None else (
+                set() if spec is None else None
+            )
+            if current is None:
+                new_spec = AnnouncementSpec(peers=None)
+            else:
+                current.add(peer_asn)
+                new_spec = AnnouncementSpec(peers=tuple(sorted(current)))
+        attachment.announcements[prefix] = new_spec
+        self.testbed.announce(self, attachment.client_id, prefix, new_spec)
+
+    def _retract_via_peer(
+        self, attachment: _ClientAttachment, prefix: Prefix, peer_asn: Optional[int]
+    ) -> None:
+        spec = attachment.announcements.get(prefix)
+        if spec is None:
+            return
+        if peer_asn is None or spec.peers is None:
+            remaining: Set[int] = set() if peer_asn is not None and spec.peers is None else set()
+            if peer_asn is None:
+                attachment.announcements.pop(prefix, None)
+                self.testbed.retract(self, attachment.client_id, prefix)
+                return
+            # withdraw one peer from an "all peers" spec
+            remaining = set(self.neighbor_asns) - {peer_asn}
+        else:
+            remaining = set(spec.peers) - {peer_asn}
+        if remaining:
+            new_spec = AnnouncementSpec(peers=tuple(sorted(remaining)))
+            attachment.announcements[prefix] = new_spec
+            self.testbed.announce(self, attachment.client_id, prefix, new_spec)
+        else:
+            attachment.announcements.pop(prefix, None)
+            self.testbed.retract(self, attachment.client_id, prefix)
+
+    # -- programmatic announcement API (used by PeeringClient) ---------------------------
+
+    def announce(
+        self, client_id: str, prefix: Prefix, spec: Optional[AnnouncementSpec] = None
+    ) -> SafetyDecision:
+        """Vetted programmatic announcement (no client BGP session needed:
+        the web-service path from §3 'Easing management')."""
+        attachment = self._require_client(client_id)
+        spec = spec or AnnouncementSpec()
+        if spec.peers is not None:
+            unknown = set(spec.peers) - self.neighbor_asns
+            if unknown:
+                raise ValueError(f"not neighbors at {self.site.name}: {sorted(unknown)}")
+        decision = self.safety.check_announcement(
+            client_id,
+            prefix,
+            ASPath(),
+            allocated=set(self.testbed.allocated_prefixes(client_id)),
+            testbed_space=self.testbed.pool.contains(prefix),
+            now=self.engine.now,
+        )
+        if decision.allowed:
+            attachment.announcements[prefix] = spec
+            self.testbed.announce(self, client_id, prefix, spec)
+        return decision
+
+    def withdraw(self, client_id: str, prefix: Prefix) -> None:
+        attachment = self._require_client(client_id)
+        self.safety.check_withdrawal(client_id, prefix, self.engine.now)
+        if prefix in attachment.announcements:
+            attachment.announcements.pop(prefix)
+            self.testbed.retract(self, client_id, prefix)
+
+    def announcements_for(self, client_id: str) -> Dict[Prefix, AnnouncementSpec]:
+        return dict(self._require_client(client_id).announcements)
+
+    def _require_client(self, client_id: str) -> _ClientAttachment:
+        try:
+            return self._clients[client_id]
+        except KeyError:
+            raise ValueError(f"client {client_id!r} is not attached to {self.site.name}") from None
+
+    # -- route relay to clients ------------------------------------------------------------
+
+    def routes_toward(self, destination_asn: int) -> Dict[int, ASRoute]:
+        """Per-peer routes this server hears for a destination AS — the
+        mux's Adj-RIB-In slice, one entry per peer that exports a route.
+        """
+        outcome = self.testbed.outcome_for_origin(destination_asn)
+        routes: Dict[int, ASRoute] = {}
+        for peer_asn in sorted(self.neighbor_asns):
+            exported = outcome.exports_to(peer_asn, self.asn)
+            if exported is not None:
+                routes[peer_asn] = exported
+        return routes
+
+    def relay_destination(self, client_id: str, destination_asn: int, prefix: Prefix) -> int:
+        """Push each peer's route for ``prefix`` (originated by
+        ``destination_asn``) down the client's sessions, preserving
+        per-peer separation.  Returns the number of routes sent."""
+        attachment = self._require_client(client_id)
+        routes = self.routes_toward(destination_asn)
+        sent = 0
+        for peer_asn, route in routes.items():
+            attributes = PathAttributes(
+                origin=Origin.IGP,
+                as_path=ASPath.from_asns(route.path),
+                next_hop=attachment.tunnel_endpoint.address,
+            )
+            if attachment.mode is MuxMode.QUAGGA:
+                session = attachment.sessions.get(peer_asn)
+                if session is not None and session.established:
+                    session.announce([prefix], attributes)
+                    sent += 1
+            else:
+                session = attachment.bird_session
+                if session is not None and session.established:
+                    path_id = attachment.path_id_for(peer_asn)
+                    session.announce([prefix], attributes, path_ids=[path_id])
+                    sent += 1
+        self.updates_relayed += sent
+        return sent
+
+    # -- data plane ----------------------------------------------------------------------
+
+    def _client_packet(self, client_id: str, packet: Packet) -> None:
+        """Traffic from a client tunnel: vet the source, then hand to the
+        substrate at our AS."""
+        allocated = set(self.testbed.allocated_prefixes(client_id))
+        decision = self.safety.check_packet(client_id, packet, allocated)
+        if not decision.allowed:
+            return
+        self.testbed.inject_packet(self, client_id, packet)
+
+    def deliver_to_client(self, client_id: str, packet: Packet) -> bool:
+        """Traffic from the Internet toward a client prefix: through the
+        tunnel."""
+        attachment = self._clients.get(client_id)
+        if attachment is None or not attachment.tunnel.up:
+            return False
+        attachment.tunnel_endpoint.send(packet)
+        return True
+

@@ -1,0 +1,403 @@
+"""The PEERING testbed controller.
+
+``Testbed`` owns everything the operators run: the PEERING AS on the
+simulated Internet, the servers at each site, the prefix pool, experiment
+vetting, the shared data plane, and the announcement registry that turns
+per-client/per-server/per-peer announcement state into substrate
+propagation.
+
+:meth:`Testbed.build_default` reproduces the deployment described in the
+paper: nine servers on three continents — universities with transit
+upstreams plus the AMS-IX server (route server + bilateral peers) and the
+Phoenix-IX server added in September 2014.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..inet.dataplane import DataPlane, Delivery, DeliveryStatus
+from ..inet.gen import AmsIxConfig, Internet, InternetConfig, build_amsix, build_internet
+from ..inet.ixp import IXP
+from ..inet.routing import Announcement, OriginSpec, RoutingOutcome, propagate
+from ..inet.topology import ASGraph, ASKind, ASNode
+from ..net.addr import IPAddress, Prefix
+from ..net.packet import Packet
+from ..sim.engine import Engine
+from .allocation import PrefixPool
+from .experiment import AdvisoryBoard, Experiment, ExperimentError, ExperimentStatus
+from .server import AnnouncementSpec, MuxMode, PeeringServer, SiteConfig, SiteKind
+
+__all__ = ["Testbed", "PEERING_ASN", "PEERING_SUPERNET"]
+
+PEERING_ASN = 47065
+PEERING_SUPERNET = Prefix("184.164.224.0/19")
+
+
+class Testbed:
+    """The operator-side controller for the whole testbed."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        internet: Internet,
+        asn: int = PEERING_ASN,
+        supernet: Prefix = PEERING_SUPERNET,
+        engine: Optional[Engine] = None,
+        tunnel_rate_limit: Optional[int] = None,
+    ) -> None:
+        self.internet = internet
+        self.graph: ASGraph = internet.graph
+        self.asn = asn
+        self.engine = engine or Engine()
+        self.pool = PrefixPool([supernet])
+        self.dataplane = DataPlane(self.graph)
+        self.dataplane.prepare = self._flush_dirty
+        self.board = AdvisoryBoard()
+        self.tunnel_rate_limit = tunnel_rate_limit
+        self.servers: Dict[str, PeeringServer] = {}
+        self.experiments: Dict[str, Experiment] = {}
+        self._client_experiment: Dict[str, str] = {}
+        self._client_server: Dict[str, List[str]] = {}
+        # prefix -> server name -> (client id, spec)
+        self._announced: Dict[Prefix, Dict[str, Tuple[str, AnnouncementSpec]]] = {}
+        self._dirty: Set[Prefix] = set()
+        self._outcome_cache: Dict[int, RoutingOutcome] = {}
+        self._next_server_addr = 1
+
+        if asn not in self.graph:
+            self.graph.add_as(
+                ASNode(asn=asn, name="PEERING", kind=ASKind.TESTBED, country="US",
+                       prefix_count=0)
+            )
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build_default(
+        cls,
+        config: Optional[InternetConfig] = None,
+        seed: int = 20141027,
+        with_phoenix: bool = True,
+        amsix: Optional[AmsIxConfig] = None,
+    ) -> "Testbed":
+        """The paper's deployment on a freshly generated Internet.
+
+        For small test internets the AMS-IX membership is scaled down
+        (preserving the paper's proportions) unless ``amsix`` is given.
+        """
+        config = config or InternetConfig()
+        internet = build_internet(config)
+        if amsix is None:
+            if config.n_ases >= 2500:
+                amsix = AmsIxConfig()
+            else:
+                amsix = AmsIxConfig.scaled(max(20, config.n_ases // 5))
+        build_amsix(internet, amsix)
+        testbed = cls(internet)
+        testbed.deploy_default_sites(seed=seed, with_phoenix=with_phoenix)
+        return testbed
+
+    def deploy_default_sites(self, seed: int = 20141027, with_phoenix: bool = True) -> None:
+        """Nine servers on three continents (§3): seven universities with
+        transit upstreams, AMS-IX, and Phoenix-IX."""
+        rng = random.Random(seed)
+        transit_asns = [
+            node.asn for node in self.graph.nodes() if node.kind is ASKind.TRANSIT
+        ]
+        universities = [
+            ("gatech01", "US"),
+            ("usc01", "US"),
+            ("washington01", "US"),
+            ("wisconsin01", "US"),
+            ("cornell01", "US"),
+            ("ufmg01", "BR"),
+            ("tsinghua01", "CN"),
+        ]
+        for name, country in universities:
+            upstreams = tuple(sorted(rng.sample(transit_asns, 2)))
+            self.add_server(
+                SiteConfig(
+                    name=name,
+                    kind=SiteKind.UNIVERSITY,
+                    country=country,
+                    upstream_asns=upstreams,
+                )
+            )
+        self.add_server(
+            SiteConfig(name="amsterdam01", kind=SiteKind.IXP, country="NL", ixp="AMS-IX")
+        )
+        if with_phoenix:
+            if "Phoenix-IX" not in self.internet.ixps:
+                self._build_phoenix_ix(rng)
+            self.add_server(
+                SiteConfig(name="phoenix01", kind=SiteKind.IXP, country="US", ixp="Phoenix-IX")
+            )
+
+    def _build_phoenix_ix(self, rng: random.Random) -> None:
+        """A small US IXP (the September 2014 expansion site)."""
+        ixp = IXP("Phoenix-IX", self.graph, country="US", seed=rng.randrange(2**16))
+        candidates = [
+            node.asn
+            for node in self.graph.nodes()
+            if node.kind in (ASKind.CONTENT, ASKind.TRANSIT, ASKind.ACCESS)
+            and node.country in ("US", "CA", "MX")
+            and node.asn != self.asn
+        ]
+        members = rng.sample(candidates, min(60, len(candidates)))
+        for asn in members:
+            use_rs = rng.random() < 0.7
+            ixp.add_member(asn, use_route_server=use_rs)
+        self.internet.ixps["Phoenix-IX"] = ixp
+
+    def add_server(self, site: SiteConfig) -> PeeringServer:
+        if site.name in self.servers:
+            raise ValueError(f"server {site.name!r} already deployed")
+        address = IPAddress("100.65.0.0") + self._next_server_addr
+        self._next_server_addr += 1
+        server = PeeringServer(self, site, address)
+        if site.kind is SiteKind.UNIVERSITY:
+            server.attach_university_upstreams()
+        else:
+            server.join_ixp()
+        self.servers[site.name] = server
+        self._outcome_cache.clear()  # adjacency changed
+        return server
+
+    def server(self, name: str) -> PeeringServer:
+        return self.servers[name]
+
+    # -- experiments & clients ------------------------------------------------------
+
+    def propose_experiment(
+        self,
+        name: str,
+        researcher: str,
+        description: str = "",
+        needs_spoofing: bool = False,
+    ) -> Experiment:
+        if name in self.experiments:
+            raise ExperimentError(f"experiment {name!r} already exists")
+        experiment = Experiment(
+            name=name,
+            researcher=researcher,
+            description=description,
+            needs_spoofing=needs_spoofing,
+        )
+        self.experiments[name] = experiment
+        return experiment
+
+    def approve_and_provision(self, name: str, prefix_count: int = 1) -> Experiment:
+        """Advisory-board review, then prefix allocation."""
+        experiment = self.experiments[name]
+        status = self.board.review(experiment)
+        if status is not ExperimentStatus.APPROVED:
+            raise ExperimentError(f"experiment {name!r} was rejected by the board")
+        for _ in range(prefix_count):
+            allocation = self.pool.allocate(owner=name)
+            experiment.prefixes.append(allocation.prefix)
+        experiment.status = ExperimentStatus.ACTIVE
+        if experiment.needs_spoofing:
+            for server in self.servers.values():
+                waivers = set(server.safety.config.allow_spoofing_for)
+                # config is frozen; rebuild with the waiver added
+                from dataclasses import replace
+
+                server.safety.config = replace(
+                    server.safety.config,
+                    allow_spoofing_for=frozenset(waivers | {name}),
+                )
+        return experiment
+
+    def register_client(
+        self,
+        name: str,
+        researcher: str = "researcher",
+        prefix_count: int = 1,
+        description: str = "experiment",
+        needs_spoofing: bool = False,
+    ) -> "PeeringClient":
+        """One-call setup: propose, vet, provision, build a client handle.
+
+        The returned :class:`~repro.core.client.PeeringClient` uses the
+        experiment name as its client id.
+        """
+        from .client import PeeringClient
+
+        self.propose_experiment(
+            name, researcher, description=description, needs_spoofing=needs_spoofing
+        )
+        experiment = self.approve_and_provision(name, prefix_count=prefix_count)
+        experiment.clients.add(name)
+        self._client_experiment[name] = name
+        return PeeringClient(self, client_id=name, experiment=experiment)
+
+    def retire_experiment(self, name: str) -> None:
+        experiment = self.experiments[name]
+        for prefix in list(self._announced):
+            for server_name, (client_id, _spec) in list(self._announced[prefix].items()):
+                if self._client_experiment.get(client_id) == name:
+                    self.retract(self.servers[server_name], client_id, prefix)
+        self.pool.release_owner(name)
+        experiment.prefixes.clear()
+        experiment.status = ExperimentStatus.RETIRED
+
+    def experiment_of(self, client_id: str) -> Experiment:
+        try:
+            return self.experiments[self._client_experiment[client_id]]
+        except KeyError:
+            raise ExperimentError(f"unknown client {client_id!r}") from None
+
+    def allocated_prefixes(self, client_id: str) -> List[Prefix]:
+        try:
+            return list(self.experiment_of(client_id).prefixes)
+        except ExperimentError:
+            return []
+
+    # -- announcement registry ---------------------------------------------------------
+
+    def announce(
+        self,
+        server: PeeringServer,
+        client_id: str,
+        prefix: Prefix,
+        spec: AnnouncementSpec,
+    ) -> None:
+        """Record (and propagate) that ``client_id`` announces ``prefix``
+        from ``server`` with ``spec``.  Isolation: a prefix may only be
+        announced by the experiment that owns it."""
+        experiment = self.experiment_of(client_id)
+        experiment.require_active()
+        if not experiment.owns(prefix):
+            raise ExperimentError(
+                f"{prefix} is not allocated to experiment {experiment.name!r}"
+            )
+        holders = self._announced.setdefault(prefix, {})
+        for other_server, (other_client, _spec) in holders.items():
+            if other_client != client_id:
+                raise ExperimentError(
+                    f"{prefix} is already announced by {other_client!r} via {other_server}"
+                )
+        holders[server.site.name] = (client_id, spec)
+        self._repropagate(prefix)
+
+    def retract(self, server: PeeringServer, client_id: str, prefix: Prefix) -> None:
+        holders = self._announced.get(prefix)
+        if not holders:
+            return
+        holders.pop(server.site.name, None)
+        if holders:
+            self._repropagate(prefix)
+        else:
+            del self._announced[prefix]
+            self._dirty.discard(prefix)
+            self.dataplane.uninstall(prefix)
+
+    def _repropagate(self, prefix: Prefix) -> None:
+        """Mark ``prefix`` for reconvergence.  Propagation is deferred to
+        the next read (outcome lookup or data-plane use): a client that
+        extends the same announcement across hundreds of per-peer sessions
+        triggers one convergence, not hundreds."""
+        self._dirty.add(prefix)
+
+    def _flush_dirty(self) -> None:
+        for prefix in sorted(self._dirty):
+            if prefix in self._announced:
+                self._propagate_now(prefix)
+        self._dirty.clear()
+
+    def _propagate_now(self, prefix: Prefix) -> None:
+        holders = self._announced[prefix]
+        origins: List[OriginSpec] = []
+        for server_name, (_client, spec) in sorted(holders.items()):
+            server = self.servers[server_name]
+            peers = (
+                tuple(sorted(server.neighbor_asns))
+                if spec.peers is None
+                else tuple(sorted(set(spec.peers)))
+            )
+            origins.append(
+                OriginSpec(
+                    asn=self.asn,
+                    prepend=spec.prepend,
+                    poison=spec.poison,
+                    announce_to=peers,
+                )
+            )
+        outcome = propagate(self.graph, Announcement(origins=tuple(origins)))
+        self.dataplane.install(prefix, outcome, owner=self.asn)
+
+    def announced_prefixes(self) -> List[Prefix]:
+        return list(self._announced)
+
+    def outcome_for(self, prefix: Prefix) -> Optional[RoutingOutcome]:
+        self._flush_dirty()
+        return self.dataplane._outcomes.get(prefix)
+
+    # -- route computation toward external destinations -----------------------------------
+
+    def outcome_for_origin(self, origin_asn: int) -> RoutingOutcome:
+        """Converged routes for a (full) announcement by ``origin_asn`` —
+        cached, since every server slices the same outcome."""
+        outcome = self._outcome_cache.get(origin_asn)
+        if outcome is None:
+            outcome = propagate(self.graph, Announcement.single(origin_asn))
+            self._outcome_cache[origin_asn] = outcome
+        return outcome
+
+    # -- data plane glue ---------------------------------------------------------------------
+
+    def attach_client_server(self, client_id: str, server_name: str) -> None:
+        self._client_server.setdefault(client_id, []).append(server_name)
+
+    def inject_packet(
+        self, server: PeeringServer, client_id: str, packet: Packet
+    ) -> Delivery:
+        """Client traffic enters the Internet at the PEERING AS."""
+        allocated = set(self.allocated_prefixes(client_id))
+        delivery = self.dataplane.send(self.asn, packet, legitimate_sources=allocated)
+        if (
+            delivery.status is DeliveryStatus.DELIVERED
+            and delivery.final_asn == self.asn
+        ):
+            # Destined to another PEERING prefix: hand to the owning client.
+            self.deliver_inbound(packet)
+        return delivery
+
+    def send_from(self, source_asn: int, packet: Packet) -> Delivery:
+        """Traffic originated somewhere on the Internet (e.g. a user of a
+        deployed service).  If it lands at PEERING, tunnel it onward."""
+        delivery = self.dataplane.send(source_asn, packet)
+        if (
+            delivery.status is DeliveryStatus.DELIVERED
+            and delivery.final_asn == self.asn
+        ):
+            self.deliver_inbound(packet)
+        return delivery
+
+    def deliver_inbound(self, packet: Packet) -> bool:
+        """Find the client owning the destination prefix and tunnel the
+        packet to it through one of its attached servers."""
+        owner = self.pool.owner_of(Prefix(packet.dst, packet.dst.bits))
+        if owner is None:
+            return False
+        for client_id in sorted(self.experiments[owner].clients):
+            for server_name in self._client_server.get(client_id, []):
+                if self.servers[server_name].deliver_to_client(client_id, packet):
+                    return True
+        return False
+
+    # -- reporting -------------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "asn": self.asn,
+            "servers": len(self.servers),
+            "sites": sorted(self.servers),
+            "experiments": len(self.experiments),
+            "announced_prefixes": len(self._announced),
+            "pool_free_slash24": self.pool.free_count(),
+        }

@@ -1,0 +1,186 @@
+"""AS-level data plane: packets follow the converged control plane.
+
+Given a :class:`~repro.inet.routing.RoutingOutcome` per destination
+prefix, the data plane forwards packets AS by AS, recording the traversed
+path, expiring TTLs, and detecting blackholes.  This is what "controlling
+traffic" (§2/§3) exercises: PECAN-style alternate-path measurements,
+anycast catchment, interception experiments, and spoofing control all ride
+on it.
+
+Spoofing: each AS can enforce source-address validation on traffic it
+originates (BCP 38).  PEERING's safety rules allow only "carefully
+controlled" spoofing — the testbed-level checks live in
+:mod:`repro.core.safety`; here the mechanism is modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..net.addr import IPAddress, Prefix
+from ..net.packet import Packet
+from .routing import RoutingOutcome
+from .topology import ASGraph
+
+__all__ = ["DeliveryStatus", "Delivery", "DataPlane"]
+
+
+from enum import Enum
+
+
+class DeliveryStatus(Enum):
+    DELIVERED = "delivered"
+    BLACKHOLE = "blackhole"  # some AS had no route
+    TTL_EXPIRED = "ttl-expired"
+    SOURCE_FILTERED = "source-filtered"  # BCP 38 dropped a spoofed packet
+    INTERCEPTED = "intercepted"  # delivered to an AS that is not the
+    # legitimate origin (hijack experiments)
+
+
+@dataclass
+class Delivery:
+    """Outcome of injecting one packet at an AS."""
+
+    status: DeliveryStatus
+    packet: Packet
+    path: Tuple[int, ...]  # ASes traversed, in order, starting at ingress
+    final_asn: Optional[int] = None
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class DataPlane:
+    """Forwards packets over per-prefix routing outcomes.
+
+    ``outcomes`` maps a destination prefix to the converged routing state
+    for its announcement; longest-prefix match picks which outcome governs
+    a packet (more-specific hijacks therefore attract traffic, as they do
+    in the wild).
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self._outcomes: Dict[Prefix, RoutingOutcome] = {}
+        self._prefix_owner: Dict[Prefix, int] = {}
+        self._source_validators: Set[int] = set()
+        self._taps: Dict[int, Callable[[Packet], None]] = {}
+        # Called before every lookup; lets the owner (the testbed) flush
+        # lazily recomputed routing outcomes.
+        self.prepare: Optional[Callable[[], None]] = None
+
+    def install(self, prefix: Prefix, outcome: RoutingOutcome, owner: Optional[int] = None) -> None:
+        """Install the routing outcome governing ``prefix``.
+
+        ``owner`` is the legitimate origin; deliveries ending elsewhere are
+        flagged INTERCEPTED.
+        """
+        self._outcomes[prefix] = outcome
+        if owner is not None:
+            self._prefix_owner[prefix] = owner
+
+    def uninstall(self, prefix: Prefix) -> None:
+        self._outcomes.pop(prefix, None)
+        self._prefix_owner.pop(prefix, None)
+
+    def enable_source_validation(self, asn: int) -> None:
+        """Turn on BCP 38 filtering at ``asn``: packets originated there
+        must carry a source address the AS legitimately announces."""
+        self._source_validators.add(asn)
+
+    def register_tap(self, asn: int, callback: Callable[[Packet], None]) -> None:
+        """Observe every packet transiting ``asn`` (DPI / decoy-routing
+        style processing at a PEERING server)."""
+        self._taps[asn] = callback
+
+    def _match(self, dst: IPAddress) -> Optional[Tuple[Prefix, RoutingOutcome]]:
+        best: Optional[Tuple[Prefix, RoutingOutcome]] = None
+        for prefix, outcome in self._outcomes.items():
+            if prefix.contains(dst):
+                if best is None or prefix.length > best[0].length:
+                    best = (prefix, outcome)
+        return best
+
+    def send(
+        self,
+        ingress_asn: int,
+        packet: Packet,
+        legitimate_sources: Optional[Set[Prefix]] = None,
+    ) -> Delivery:
+        """Inject ``packet`` at ``ingress_asn`` and forward to delivery.
+
+        ``legitimate_sources``: prefixes the ingress AS may legitimately
+        source traffic from; consulted only when the ingress enforces
+        source validation.
+        """
+        if self.prepare is not None:
+            self.prepare()
+        if ingress_asn in self._source_validators:
+            allowed = legitimate_sources or set()
+            if not any(prefix.contains(packet.src) for prefix in allowed):
+                return Delivery(
+                    status=DeliveryStatus.SOURCE_FILTERED,
+                    packet=packet,
+                    path=(ingress_asn,),
+                    final_asn=ingress_asn,
+                )
+
+        match = self._match(packet.dst)
+        if match is None:
+            return Delivery(
+                status=DeliveryStatus.BLACKHOLE,
+                packet=packet,
+                path=(ingress_asn,),
+                final_asn=ingress_asn,
+            )
+        prefix, outcome = match
+
+        current = ingress_asn
+        path: List[int] = [current]
+        while True:
+            tap = self._taps.get(current)
+            if tap is not None:
+                tap(packet)
+            route = outcome.route(current)
+            if route is None:
+                return Delivery(DeliveryStatus.BLACKHOLE, packet, tuple(path), current)
+            if route.via is None:
+                # Reached an origin for this prefix.
+                owner = self._prefix_owner.get(prefix)
+                status = (
+                    DeliveryStatus.INTERCEPTED
+                    if owner is not None and current != owner
+                    else DeliveryStatus.DELIVERED
+                )
+                return Delivery(status, packet, tuple(path), current)
+            if packet.expired:
+                return Delivery(DeliveryStatus.TTL_EXPIRED, packet, tuple(path), current)
+            packet = packet.hop(current)
+            current = route.via
+            path.append(current)
+
+    def traceroute(self, ingress_asn: int, dst: IPAddress, src: IPAddress) -> List[int]:
+        """AS-level traceroute: the forward path a probe would reveal."""
+        delivery = self.send(ingress_asn, Packet(src=src, dst=dst))
+        return list(delivery.path)
+
+    def catchment(self, prefix: Prefix) -> Dict[int, int]:
+        """For an anycast prefix: which origin each AS's traffic lands at.
+
+        Returns ``{asn: origin_asn}`` for every AS with a route.
+        """
+        if self.prepare is not None:
+            self.prepare()
+        outcome = self._outcomes.get(prefix)
+        if outcome is None:
+            raise KeyError(prefix)
+        result: Dict[int, int] = {}
+        for asn, _route in outcome.items():
+            chain = outcome.forwarding_chain(asn)
+            terminal = chain[-1]
+            terminal_route = outcome.route(terminal)
+            if terminal_route is not None and terminal_route.via is None:
+                result[asn] = terminal
+        return result

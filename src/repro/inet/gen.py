@@ -1,0 +1,431 @@
+"""Synthetic Internet generator.
+
+Builds a policy-annotated AS graph with the structural features §4.1's
+results depend on:
+
+* a **tier-1 clique** (no providers, full peer mesh) atop a
+  customer-provider hierarchy grown by preferential attachment, giving
+  heavy-tailed customer cones like CAIDA AS-rank;
+* **content/CDN ASes** with open peering policies and many prefixes
+  (the YouTube/Netflix concentration the paper leans on);
+* per-AS **countries** drawn from a worldwide distribution (Europe-heavy
+  among IXP members) so "peers based in 59 countries" has an analogue;
+* per-AS **prefix counts** drawn from a Zipf-like tail normalized to a
+  target global table size (~520K, the Internet of 2014).
+
+The generator is fully deterministic for a given
+:class:`InternetConfig.seed`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .ixp import IXP
+from .topology import ASGraph, ASKind, ASNode, PeeringPolicy
+
+__all__ = ["InternetConfig", "AmsIxConfig", "build_internet", "build_amsix", "Internet"]
+
+
+# Rough worldwide country pool; weights favour regions with dense IXP
+# presence.  62 countries so a well-connected AS set can plausibly span
+# the paper's 59.
+_COUNTRIES: List[Tuple[str, float]] = [
+    ("NL", 8), ("DE", 8), ("GB", 7), ("US", 10), ("FR", 5), ("RU", 4),
+    ("UA", 2), ("PL", 3), ("SE", 3), ("NO", 2), ("DK", 2), ("FI", 2),
+    ("BE", 2), ("CH", 2), ("AT", 2), ("CZ", 2), ("IT", 3), ("ES", 3),
+    ("PT", 1), ("IE", 1), ("RO", 2), ("BG", 1), ("HU", 1), ("SK", 1),
+    ("GR", 1), ("TR", 2), ("IL", 1), ("AE", 1), ("SA", 1), ("IN", 3),
+    ("CN", 3), ("HK", 2), ("SG", 2), ("JP", 3), ("KR", 2), ("TW", 1),
+    ("TH", 1), ("MY", 1), ("ID", 1), ("PH", 1), ("VN", 1), ("AU", 2),
+    ("NZ", 1), ("BR", 3), ("AR", 1), ("CL", 1), ("CO", 1), ("MX", 2),
+    ("PE", 1), ("CA", 2), ("ZA", 1), ("EG", 1), ("NG", 1), ("KE", 1),
+    ("MA", 1), ("TN", 1), ("IS", 1), ("EE", 1), ("LV", 1), ("LT", 1),
+    ("SI", 1), ("HR", 1),
+]
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Knobs for the synthetic Internet.  Defaults produce ~4000 ASes with
+    a ~520K-prefix global table in a few seconds."""
+
+    n_ases: int = 4000
+    n_tier1: int = 12
+    transit_fraction: float = 0.12
+    content_fraction: float = 0.08
+    total_prefixes: int = 520_000
+    mean_providers: float = 1.8
+    transit_peer_degree: int = 4
+    tier1_pool_weight: int = 24
+    eyeball_fraction: float = 0.08
+    seed: int = 1914
+    first_asn: int = 100
+
+
+@dataclass(frozen=True)
+class AmsIxConfig:
+    """Membership structure of the modeled AMS-IX, matching §4.1: 669
+    members, 554 on the route server; the 115 others split 48 open /
+    12 closed / 40 case-by-case / 15 unlisted."""
+
+    total_members: int = 669
+    route_server_members: int = 554
+    open_policy: int = 48
+    closed_policy: int = 12
+    case_by_case: int = 40
+    unlisted: int = 15
+    name: str = "AMS-IX"
+    country: str = "NL"
+
+    def __post_init__(self) -> None:
+        rest = self.open_policy + self.closed_policy + self.case_by_case + self.unlisted
+        if self.route_server_members + rest != self.total_members:
+            raise ValueError("AMS-IX member split does not sum to total_members")
+
+    @classmethod
+    def scaled(cls, total_members: int, name: str = "AMS-IX", country: str = "NL") -> "AmsIxConfig":
+        """The paper's membership structure scaled down to
+        ``total_members`` (for small test internets), preserving the
+        554:48:12:40:15 proportions."""
+        paper = cls()
+        factor = total_members / paper.total_members
+        rs = round(paper.route_server_members * factor)
+        open_p = round(paper.open_policy * factor)
+        closed = round(paper.closed_policy * factor)
+        cbc = round(paper.case_by_case * factor)
+        unlisted = total_members - rs - open_p - closed - cbc
+        if unlisted < 0:
+            rs += unlisted
+            unlisted = 0
+        return cls(
+            total_members=total_members,
+            route_server_members=rs,
+            open_policy=open_p,
+            closed_policy=closed,
+            case_by_case=cbc,
+            unlisted=unlisted,
+            name=name,
+            country=country,
+        )
+
+
+@dataclass
+class Internet:
+    """The generated world: graph + IXPs + bookkeeping."""
+
+    graph: ASGraph
+    ixps: Dict[str, IXP] = field(default_factory=dict)
+    config: Optional[InternetConfig] = None
+
+    @property
+    def amsix(self) -> IXP:
+        return self.ixps["AMS-IX"]
+
+    def total_prefixes(self) -> int:
+        return sum(node.prefix_count for node in self.graph.nodes())
+
+
+def _draw_country(rng: random.Random) -> str:
+    total = sum(w for _, w in _COUNTRIES)
+    roll = rng.uniform(0, total)
+    acc = 0.0
+    for country, weight in _COUNTRIES:
+        acc += weight
+        if roll <= acc:
+            return country
+    return _COUNTRIES[-1][0]
+
+
+def _zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+def build_internet(config: InternetConfig = InternetConfig()) -> Internet:
+    """Generate the AS graph (no IXPs yet; see :func:`build_amsix`)."""
+    rng = random.Random(config.seed)
+    graph = ASGraph()
+    next_asn = config.first_asn
+
+    n_transit = max(4, int(config.n_ases * config.transit_fraction))
+    n_content = max(2, int(config.n_ases * config.content_fraction))
+    n_access = config.n_ases - config.n_tier1 - n_transit - n_content
+    if n_access <= 0:
+        raise ValueError("n_ases too small for the configured fractions")
+
+    # --- Tier-1 clique ------------------------------------------------------
+    tier1: List[int] = []
+    for i in range(config.n_tier1):
+        node = ASNode(
+            asn=next_asn,
+            name=f"T1-{i}",
+            country=_draw_country(rng),
+            kind=ASKind.TIER1,
+            peering_policy=PeeringPolicy.SELECTIVE,
+        )
+        graph.add_as(node)
+        tier1.append(next_asn)
+        next_asn += 1
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            graph.add_peering(a, b)
+
+    # --- Transit hierarchy (preferential attachment on current degree) --------
+    transit: List[int] = []
+    attach_pool: List[int] = list(tier1)  # provider candidates, repeated by cone
+
+    def pick_providers(count: int, pool: Sequence[int], exclude: int) -> Set[int]:
+        chosen: Set[int] = set()
+        candidates = [asn for asn in pool if asn != exclude]
+        while candidates and len(chosen) < count:
+            pick = rng.choice(candidates)
+            chosen.add(pick)
+            candidates = [asn for asn in candidates if asn != pick]
+        return chosen
+
+    for i in range(n_transit):
+        node = ASNode(
+            asn=next_asn,
+            name=f"TR-{i}",
+            country=_draw_country(rng),
+            kind=ASKind.TRANSIT,
+            peering_policy=rng.choice(
+                [PeeringPolicy.OPEN, PeeringPolicy.SELECTIVE, PeeringPolicy.CASE_BY_CASE]
+            ),
+        )
+        graph.add_as(node)
+        n_providers = 1 + (1 if rng.random() < 0.6 else 0)
+        for provider in pick_providers(n_providers, attach_pool, node.asn):
+            graph.add_provider(node.asn, provider)
+        transit.append(node.asn)
+        # Preferential attachment: transit providers join the pool several
+        # times so later ASes attach to them more often (cone heavy tail).
+        attach_pool.extend([node.asn] * 2)
+        next_asn += 1
+
+    # Most stub mass attaches directly to tier-1/very large transit (which
+    # do not peer at IXP route servers); this is what keeps peer-route
+    # coverage at the paper's ~1/4 rather than near-complete.
+    attach_pool.extend(tier1 * config.tier1_pool_weight)
+
+    # Peer mesh among transits (sparse, degree-bounded).
+    for asn in transit:
+        others = [t for t in transit if t != asn]
+        rng.shuffle(others)
+        for other in others[: config.transit_peer_degree]:
+            if graph.relationship(asn, other) is None and rng.random() < 0.35:
+                graph.add_peering(asn, other)
+
+    # --- Content / CDN ASes -------------------------------------------------
+    content: List[int] = []
+    content_names = [
+        "Google", "Netflix", "Akamai", "Microsoft", "CloudCo", "StreamCo",
+        "Hurricane Electric", "GoDaddy", "Airtel", "Pacnet", "RETN",
+        "Terremark", "TransTeleCom", "EdgeCast", "Fastly-like", "OVH-like",
+    ]
+    for i in range(n_content):
+        name = content_names[i] if i < len(content_names) else f"CDN-{i}"
+        node = ASNode(
+            asn=next_asn,
+            name=name,
+            country=_draw_country(rng),
+            kind=ASKind.CONTENT,
+            # Content providers overwhelmingly peer openly (§3).
+            peering_policy=PeeringPolicy.OPEN if rng.random() < 0.85 else PeeringPolicy.SELECTIVE,
+        )
+        graph.add_as(node)
+        providers = pick_providers(1 + (1 if rng.random() < 0.5 else 0), transit + tier1, node.asn)
+        for provider in providers:
+            graph.add_provider(node.asn, provider)
+        content.append(node.asn)
+        next_asn += 1
+
+    # --- Access / enterprise edge ----------------------------------------------
+    access: List[int] = []
+    provider_pool = attach_pool  # tier1 + weighted transit
+    n_eyeballs = max(1, int(n_access * config.eyeball_fraction))
+    for i in range(n_access):
+        # A slice of the access tier models large incumbent eyeball ISPs:
+        # they buy transit from tier-1s directly and originate a large
+        # share of the global table, but are not IXP route-server members.
+        # They are the bulk of the ~3/4 of the Internet that PEERING can
+        # only reach via transit (§4.1).
+        if i < n_eyeballs:
+            node = ASNode(
+                asn=next_asn,
+                name=f"EYEBALL-{i}",
+                country=_draw_country(rng),
+                kind=ASKind.ACCESS,
+                peering_policy=PeeringPolicy.SELECTIVE,
+            )
+            graph.add_as(node)
+            for provider in pick_providers(2, tier1, node.asn):
+                graph.add_provider(node.asn, provider)
+            access.append(node.asn)
+            next_asn += 1
+            continue
+        kind = ASKind.ACCESS if rng.random() < 0.7 else ASKind.ENTERPRISE
+        node = ASNode(
+            asn=next_asn,
+            name=f"EDGE-{i}",
+            country=_draw_country(rng),
+            kind=kind,
+            peering_policy=rng.choices(
+                [
+                    PeeringPolicy.OPEN,
+                    PeeringPolicy.SELECTIVE,
+                    PeeringPolicy.CASE_BY_CASE,
+                    PeeringPolicy.CLOSED,
+                    PeeringPolicy.UNLISTED,
+                ],
+                weights=[35, 15, 25, 10, 15],
+            )[0],
+        )
+        graph.add_as(node)
+        n_providers = 1 + (1 if rng.random() < (config.mean_providers - 1.0) else 0)
+        for provider in pick_providers(n_providers, provider_pool, node.asn):
+            graph.add_provider(node.asn, provider)
+        access.append(node.asn)
+        next_asn += 1
+
+    _assign_prefix_counts(graph, config, rng, tier1, transit, content, access)
+    graph.validate()
+    return Internet(graph=graph, config=config)
+
+
+def _assign_prefix_counts(
+    graph: ASGraph,
+    config: InternetConfig,
+    rng: random.Random,
+    tier1: List[int],
+    transit: List[int],
+    content: List[int],
+    access: List[int],
+) -> None:
+    """Zipf-ish prefix counts, normalized so they sum to total_prefixes.
+
+    Kind multipliers keep transit/content ASes originating far more
+    prefixes than stubs, which drives the heavy-tailed per-peer export
+    sizes in §4.1 ("only our 5 largest peers give us more than 10K").
+    """
+    multipliers = {
+        ASKind.TIER1: 12.0,
+        ASKind.TRANSIT: 3.0,
+        ASKind.CONTENT: 3.0,
+        ASKind.ACCESS: 1.0,
+        ASKind.ENTERPRISE: 0.5,
+    }
+    raw: Dict[int, float] = {}
+    for asn in tier1 + transit + content + access:
+        node = graph.get(asn)
+        base = multipliers.get(node.kind, 1.0)
+        if node.name.startswith("EYEBALL-"):
+            base = 90.0  # incumbent ISPs hold a large share of the table
+        # Mild Pareto tail on top of the kind multiplier.
+        raw[asn] = base * rng.paretovariate(1.6)
+    scale = config.total_prefixes / sum(raw.values())
+    for asn, weight in raw.items():
+        graph.get(asn).prefix_count = max(1, round(weight * scale))
+
+
+def build_amsix(
+    internet: Internet,
+    config: AmsIxConfig = AmsIxConfig(),
+    seed: int = 7,
+    rs_sort_jitter: float = 0.8,
+) -> IXP:
+    """Attach an AMS-IX-shaped IXP to the generated Internet.
+
+    Members are drawn with a European bias and content/transit ASes are
+    over-represented (they are the ASes that show up at big IXPs); the
+    route-server/bilateral/policy split follows the paper exactly.
+    """
+    graph = internet.graph
+    rng = random.Random(seed)
+    ixp = IXP(config.name, graph, country=config.country, seed=seed)
+
+    europe = {
+        "NL", "DE", "GB", "FR", "BE", "CH", "AT", "SE", "NO", "DK", "FI",
+        "PL", "CZ", "IT", "ES", "PT", "IE", "RO", "BG", "HU", "SK", "GR",
+        "EE", "LV", "LT", "SI", "HR", "IS", "RU", "UA", "TR",
+    }
+
+    def membership_weight(node: ASNode) -> float:
+        # Tier-1s sell transit; they do not join route servers or peer
+        # openly at IXPs, so they are absent from the modeled membership
+        # (matching why PEERING's peer routes cover only ~1/4 of the
+        # Internet: the rest hides behind transit-only ASes).
+        if node.kind is ASKind.TIER1:
+            return 0.0
+        weight = 1.0
+        if node.country in europe:
+            weight *= 4.0
+        if node.kind is ASKind.CONTENT:
+            weight *= 8.0
+        if node.kind is ASKind.TRANSIT:
+            # Big networks show up at big IXPs: presence scales gently
+            # with customer-cone size.
+            import math
+
+            cone = len(graph.customer_cone(node.asn))
+            weight *= 1.0 + math.log2(max(2, cone)) / 2.0
+        return weight
+
+    eligible = [
+        (node, membership_weight(node)) for node in graph.nodes()
+    ]
+    eligible = [(node, weight) for node, weight in eligible if weight > 0]
+    if len(eligible) < config.total_members:
+        raise ValueError(
+            f"not enough eligible ASes ({len(eligible)}) for "
+            f"{config.total_members} IXP members; use AmsIxConfig.scaled()"
+        )
+    nodes = [node for node, _ in eligible]
+    weights = [weight for _, weight in eligible]
+    members: List[int] = []
+    chosen: Set[int] = set()
+    # Weighted sampling without replacement.
+    while len(members) < config.total_members:
+        pick = rng.choices(range(len(nodes)), weights=weights)[0]
+        asn = nodes[pick].asn
+        if asn in chosen:
+            continue
+        chosen.add(asn)
+        members.append(asn)
+
+    # Route-server users skew small, but not strictly: some very large
+    # networks (Hurricane Electric, famously) peer with everyone via route
+    # servers.  A lognormal jitter on the cone-size sort key keeps a
+    # handful of big exporters on the route server while the largest
+    # members mostly stay bilateral/selective.
+    members.sort(
+        key=lambda asn: (
+            len(graph.customer_cone(asn)) * rng.lognormvariate(0.0, rs_sort_jitter),
+            asn,
+        )
+    )
+    rs_members = members[: config.route_server_members]
+    bilateral_only = members[config.route_server_members :]
+
+    for asn in rs_members:
+        ixp.add_member(asn)
+    # Join the route server in one pass (mesh built incrementally).
+    for asn in rs_members:
+        ixp.join_route_server(asn)
+
+    # The bilateral-only members get the paper's exact policy split.
+    policies = (
+        [PeeringPolicy.OPEN] * config.open_policy
+        + [PeeringPolicy.CLOSED] * config.closed_policy
+        + [PeeringPolicy.CASE_BY_CASE] * config.case_by_case
+        + [PeeringPolicy.UNLISTED] * config.unlisted
+    )
+    rng.shuffle(policies)
+    for asn, policy in zip(bilateral_only, policies):
+        graph.get(asn).peering_policy = policy
+        ixp.add_member(asn)
+
+    internet.ixps[config.name] = ixp
+    return ixp

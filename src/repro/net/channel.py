@@ -1,0 +1,126 @@
+"""In-memory byte channels used as the transport under BGP sessions.
+
+The BGP code is written against a tiny transport interface (``send`` /
+``receive`` / ``close``) so the same session logic works over any conduit.
+:class:`ChannelPair` provides the default: two connected FIFO endpoints with
+optional propagation delay when driven by the discrete-event engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+__all__ = ["ChannelClosed", "Endpoint", "ChannelPair"]
+
+
+class ChannelClosed(Exception):
+    """Raised when sending on (or draining) a closed channel."""
+
+
+# Run-to-completion dispatch: a message sent from inside a receive handler
+# is queued and delivered only after the current handler returns, exactly
+# like an event loop would.  Without this, two BGP speakers answering each
+# other re-enter their handlers mid-transition.
+_dispatch_queue: Deque = deque()
+_dispatching = False
+
+
+def _dispatch(target: "Endpoint", data: bytes) -> None:
+    global _dispatching
+    _dispatch_queue.append((target, data))
+    if _dispatching:
+        return
+    _dispatching = True
+    try:
+        while _dispatch_queue:
+            endpoint, message = _dispatch_queue.popleft()
+            if not endpoint.closed:
+                endpoint._deliver(message)
+    finally:
+        _dispatching = False
+
+
+class Endpoint:
+    """One end of a byte-message channel.
+
+    Messages are delivered whole (the channel is message-oriented, as TCP
+    with a framing layer would provide).  An optional ``on_receive`` callback
+    makes the endpoint push-driven, which is how the event engine wires
+    sessions together.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._peer: Optional["Endpoint"] = None
+        self._queue: Deque[bytes] = deque()
+        self.closed = False
+        self.on_receive: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.sent_count = 0
+        self.received_count = 0
+
+    def connect(self, peer: "Endpoint") -> None:
+        self._peer = peer
+        peer._peer = self
+
+    @property
+    def connected(self) -> bool:
+        return self._peer is not None and not self.closed
+
+    def send(self, data: bytes) -> None:
+        """Deliver ``data`` to the peer endpoint."""
+        if self.closed:
+            raise ChannelClosed(f"endpoint {self.name!r} is closed")
+        if self._peer is None:
+            raise ChannelClosed(f"endpoint {self.name!r} is not connected")
+        if self._peer.closed:
+            raise ChannelClosed(f"peer of {self.name!r} is closed")
+        self.sent_count += 1
+        _dispatch(self._peer, data)
+
+    def _deliver(self, data: bytes) -> None:
+        self.received_count += 1
+        if self.on_receive is not None:
+            self.on_receive(data)
+        else:
+            self._queue.append(data)
+
+    def receive(self) -> Optional[bytes]:
+        """Pop the next queued message, or ``None`` when empty."""
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def drain(self) -> List[bytes]:
+        """Pop and return all queued messages."""
+        messages = list(self._queue)
+        self._queue.clear()
+        return messages
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        """Close both directions; notifies the peer's ``on_close`` hook."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._peer is not None and not self._peer.closed:
+            self._peer.closed = True
+            if self._peer.on_close is not None:
+                self._peer.on_close()
+        if self.on_close is not None:
+            self.on_close()
+
+
+class ChannelPair:
+    """A connected pair of endpoints, like ``socketpair()``."""
+
+    def __init__(self, name: str = "") -> None:
+        self.a = Endpoint(f"{name}.a")
+        self.b = Endpoint(f"{name}.b")
+        self.a.connect(self.b)
+
+    def __iter__(self):
+        return iter((self.a, self.b))

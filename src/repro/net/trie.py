@@ -1,0 +1,233 @@
+"""Binary radix trie keyed by IP prefixes.
+
+Provides the two lookups routers need constantly:
+
+* **Longest-prefix match** (:meth:`PrefixTrie.lookup`) for forwarding.
+* **Covered / covering enumeration** for filter evaluation and aggregation.
+
+The trie is also the engine behind the PEERING prefix pool
+(:class:`repro.core.allocation.PrefixPool`), which needs first-fit free-block
+allocation out of a covering prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar, Union
+
+from .addr import IPAddress, Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """A mapping from :class:`Prefix` to arbitrary values with LPM lookup.
+
+    One trie holds one address family; mixing IPv4 and IPv6 keys raises
+    ``ValueError``.  Behaves like a mutable mapping for its core operations
+    (``trie[prefix] = value``, ``prefix in trie``, ``del trie[prefix]``,
+    ``len(trie)``) and adds router-style queries on top.
+    """
+
+    def __init__(self, version: int = 4):
+        if version not in (4, 6):
+            raise ValueError(f"unknown IP version {version}")
+        self._version = version
+        self._bits = 32 if version == 4 else 128
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def _check(self, prefix: Prefix) -> None:
+        if prefix.version != self._version:
+            raise ValueError(
+                f"IPv{prefix.version} prefix in IPv{self._version} trie"
+            )
+
+    def _path_bits(self, prefix: Prefix) -> Iterator[int]:
+        value = prefix.address.value
+        for depth in range(prefix.length):
+            yield (value >> (self._bits - 1 - depth)) & 1
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        self._check(prefix)
+        node = self._root
+        for bit in self._path_bits(prefix):
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def __setitem__(self, prefix: Prefix, value: V) -> None:
+        self.insert(prefix, value)
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """Exact-match lookup."""
+        self._check(prefix)
+        node = self._root
+        for bit in self._path_bits(prefix):
+            node = node.children[bit]
+            if node is None:
+                return default
+        return node.value if node.has_value else default
+
+    def __getitem__(self, prefix: Prefix) -> V:
+        sentinel = object()
+        value = self.get(prefix, sentinel)  # type: ignore[arg-type]
+        if value is sentinel:
+            raise KeyError(prefix)
+        return value  # type: ignore[return-value]
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        sentinel = object()
+        return self.get(prefix, sentinel) is not sentinel  # type: ignore[arg-type]
+
+    def remove(self, prefix: Prefix) -> V:
+        """Remove and return the value at ``prefix``; KeyError if absent."""
+        self._check(prefix)
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in self._path_bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                raise KeyError(prefix)
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            raise KeyError(prefix)
+        value = node.value
+        node.value = None
+        node.has_value = False
+        self._size -= 1
+        # Prune now-empty leaf chain.
+        while path and not node.has_value and node.children[0] is None and node.children[1] is None:
+            parent, bit = path.pop()
+            parent.children[bit] = None
+            node = parent
+        return value  # type: ignore[return-value]
+
+    def __delitem__(self, prefix: Prefix) -> None:
+        self.remove(prefix)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def lookup(self, target: Union[IPAddress, Prefix]) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for an address (or prefix) — the forwarding op.
+
+        Returns ``(matching_prefix, value)`` or ``None`` when nothing covers
+        the target.
+        """
+        if isinstance(target, IPAddress):
+            target = Prefix(target, target.bits)
+        self._check(target)
+        node = self._root
+        best: Optional[Tuple[Prefix, V]] = None
+        depth = 0
+        value = target.address.value
+        if node.has_value:
+            best = (Prefix(IPAddress(0, self._version), 0), node.value)  # type: ignore[arg-type]
+        while depth < target.length:
+            bit = (value >> (self._bits - 1 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            depth += 1
+            if node.has_value:
+                mask = ((1 << depth) - 1) << (self._bits - depth) if depth else 0
+                net = IPAddress(value & mask, self._version)
+                best = (Prefix(net, depth), node.value)  # type: ignore[arg-type]
+        return best
+
+    def covering(self, target: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Yield (prefix, value) for every stored prefix that covers ``target``.
+
+        Yielded shortest (least specific) first; includes an exact match.
+        """
+        self._check(target)
+        node = self._root
+        value = target.address.value
+        if node.has_value:
+            yield Prefix(IPAddress(0, self._version), 0), node.value  # type: ignore[misc]
+        for depth in range(1, target.length + 1):
+            bit = (value >> (self._bits - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                return
+            if node.has_value:
+                mask = ((1 << depth) - 1) << (self._bits - depth)
+                yield Prefix(IPAddress(value & mask, self._version), depth), node.value  # type: ignore[misc]
+
+    def covered(self, target: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Yield (prefix, value) for every stored prefix within ``target``.
+
+        Includes an exact match; yielded in address order.
+        """
+        self._check(target)
+        node = self._root
+        for bit in self._path_bits(target):
+            node = node.children[bit]
+            if node is None:
+                return
+        yield from self._walk(node, target.address.value, target.length)
+
+    def _walk(self, node: _Node[V], address: int, depth: int) -> Iterator[Tuple[Prefix, V]]:
+        if node.has_value:
+            yield Prefix(IPAddress(address, self._version), depth), node.value  # type: ignore[misc]
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                child_addr = address | (bit << (self._bits - depth - 1))
+                yield from self._walk(child, child_addr, depth + 1)
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """All (prefix, value) pairs in address order."""
+        yield from self._walk(self._root, 0, 0)
+
+    def keys(self) -> Iterator[Prefix]:
+        for prefix, _ in self.items():
+            yield prefix
+
+    def values(self) -> Iterator[V]:
+        for _, value in self.items():
+            yield value
+
+    def __iter__(self) -> Iterator[Prefix]:
+        return self.keys()
+
+    def first_free(self, within: Prefix, length: int) -> Optional[Prefix]:
+        """First /``length`` inside ``within`` that neither covers nor is
+        covered by any stored prefix — the allocation primitive for prefix
+        pools.  Returns ``None`` when the block is exhausted.
+        """
+        self._check(within)
+        if length < within.length or length > self._bits:
+            raise ValueError(f"cannot allocate /{length} inside {within}")
+        for candidate in within.subnets(length):
+            if next(self.covered(candidate), None) is not None:
+                continue
+            covering = [p for p, _ in self.covering(candidate)]
+            if covering:
+                continue
+            return candidate
+        return None

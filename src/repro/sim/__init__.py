@@ -1,0 +1,5 @@
+"""Discrete-event simulation kernel."""
+
+from .engine import Engine, Event, SimulationError, Timer
+
+__all__ = ["Engine", "Event", "Timer", "SimulationError"]

@@ -1,0 +1,148 @@
+"""Discrete-event simulation kernel.
+
+Everything time-driven in the library — BGP keepalive/hold timers, MRAI,
+route-flap-damping decay, scheduled announcements — runs on this engine.
+It is a classic calendar queue: callbacks scheduled at simulated times,
+executed in time order, with stable FIFO ordering for simultaneous events.
+
+The engine is intentionally synchronous and deterministic: given the same
+seedable inputs the same run is reproduced exactly, which the test suite
+relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["SimulationError", "Event", "Timer", "Engine"]
+
+
+class SimulationError(Exception):
+    """Raised for scheduling in the past or running a broken engine."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: time, then insertion sequence."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Timer:
+    """A restartable one-shot timer bound to an engine.
+
+    Mirrors the timers in a BGP implementation: ``start`` (re)arms it,
+    ``stop`` disarms, and the callback fires once when it expires.
+    """
+
+    def __init__(self, engine: "Engine", interval: float, action: Callable[[], None], label: str = "timer"):
+        self._engine = engine
+        self.interval = interval
+        self._action = action
+        self._event: Optional[Event] = None
+        self.label = label
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, interval: Optional[float] = None) -> None:
+        """(Re)arm the timer ``interval`` (default: configured) from now."""
+        if interval is not None:
+            self.interval = interval
+        self.stop()
+        self._event = self._engine.schedule(self.interval, self._fire, label=self.label)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._action()
+
+
+class Engine:
+    """The event loop.  ``schedule`` relative, ``schedule_at`` absolute."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+        self._running = False
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` simulated seconds from now."""
+        return self.schedule_at(self.now + delay, action, label=label)
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        event = Event(time=time, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def timer(self, interval: float, action: Callable[[], None], label: str = "timer") -> Timer:
+        return Timer(self, interval, action, label=label)
+
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Run events until the queue empties or ``until`` is reached.
+
+        Returns the number of events processed.  ``max_events`` guards
+        against livelock (e.g. a protocol bug producing an update storm) —
+        exceeding it raises :class:`SimulationError` rather than hanging.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        count = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                if count >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events at t={self.now}; livelock?"
+                    )
+                if self.step():
+                    count += 1
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return count
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run for ``duration`` simulated seconds from now."""
+        return self.run(until=self.now + duration, max_events=max_events)

@@ -1,0 +1,23 @@
+"""Capability models of related testbeds (Table 1)."""
+
+from .models import (
+    ALL_TESTBEDS,
+    PAPER_TABLE_1,
+    Goal,
+    Support,
+    TestbedModel,
+    capability_matrix,
+    evaluate,
+    no_two_combine,
+)
+
+__all__ = [
+    "ALL_TESTBEDS",
+    "PAPER_TABLE_1",
+    "Goal",
+    "Support",
+    "TestbedModel",
+    "capability_matrix",
+    "evaluate",
+    "no_two_combine",
+]

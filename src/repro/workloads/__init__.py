@@ -1,0 +1,15 @@
+"""Workload generators: the Alexa-like web ecosystem and traffic models."""
+
+from .alexa import Resource, Site, WebConfig, WebEcosystem, build_web_ecosystem
+from .traffic import ProbeTrain, client_population, gravity_matrix
+
+__all__ = [
+    "Resource",
+    "Site",
+    "WebConfig",
+    "WebEcosystem",
+    "build_web_ecosystem",
+    "ProbeTrain",
+    "client_population",
+    "gravity_matrix",
+]

@@ -1,0 +1,82 @@
+"""Traffic workload generators for data-plane experiments.
+
+Provides the flows examples and benchmarks push through the testbed:
+probe trains toward a destination set, anycast client populations, and a
+simple gravity-model traffic matrix over the AS graph (mass = prefix
+count, the usual proxy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..inet.topology import ASGraph, ASKind
+from ..net.addr import IPAddress, Prefix
+from ..net.packet import Packet
+
+__all__ = ["ProbeTrain", "client_population", "gravity_matrix"]
+
+
+@dataclass
+class ProbeTrain:
+    """A sequence of probe packets from one source toward many targets."""
+
+    src: IPAddress
+    targets: List[IPAddress]
+    proto: str = "icmp-echo"
+
+    def packets(self) -> Iterator[Packet]:
+        for target in self.targets:
+            yield Packet(src=self.src, dst=target, proto=self.proto)
+
+
+def client_population(
+    graph: ASGraph,
+    count: int,
+    seed: int = 0,
+    kinds: Sequence[ASKind] = (ASKind.ACCESS, ASKind.ENTERPRISE),
+) -> List[int]:
+    """Sample ``count`` client ASes, weighted by their prefix mass (a
+    proxy for user population) — the vantage set for anycast-catchment
+    and reachability studies."""
+    rng = random.Random(seed)
+    candidates = [node for node in graph.nodes() if node.kind in kinds]
+    if not candidates:
+        raise ValueError("no candidate client ASes")
+    weights = [node.prefix_count for node in candidates]
+    chosen = set()
+    result: List[int] = []
+    attempts = 0
+    while len(result) < min(count, len(candidates)) and attempts < 50 * count:
+        node = rng.choices(candidates, weights=weights)[0]
+        attempts += 1
+        if node.asn in chosen:
+            continue
+        chosen.add(node.asn)
+        result.append(node.asn)
+    return result
+
+
+def gravity_matrix(
+    graph: ASGraph,
+    sources: Sequence[int],
+    destinations: Sequence[int],
+    total_flows: int = 1000,
+    seed: int = 0,
+) -> Dict[Tuple[int, int], int]:
+    """Gravity-model flow counts between AS pairs: flow(s, d) proportional
+    to mass(s) * mass(d), normalized to ``total_flows``."""
+    mass = {asn: max(1, graph.get(asn).prefix_count) for asn in set(sources) | set(destinations)}
+    raw: Dict[Tuple[int, int], float] = {}
+    for s in sources:
+        for d in destinations:
+            if s != d:
+                raw[(s, d)] = mass[s] * mass[d]
+    total_raw = sum(raw.values()) or 1.0
+    matrix = {
+        pair: max(1, round(total_flows * weight / total_raw))
+        for pair, weight in raw.items()
+    }
+    return matrix

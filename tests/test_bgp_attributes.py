@@ -1,0 +1,174 @@
+"""Tests for AS paths, communities, and attribute bundles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.attributes import (
+    ASPath,
+    ASPathSegment,
+    Community,
+    NO_EXPORT,
+    Origin,
+    PathAttributes,
+    SegmentType,
+    is_private_asn,
+)
+
+
+class TestASPath:
+    def test_from_asns(self):
+        path = ASPath.from_asns([3, 2, 1])
+        assert path.asns() == (3, 2, 1)
+        assert path.length() == 3
+        assert path.origin_asn == 1
+        assert path.first_asn == 3
+
+    def test_empty(self):
+        path = ASPath()
+        assert path.length() == 0
+        assert path.origin_asn is None
+        assert path.first_asn is None
+
+    def test_prepend(self):
+        path = ASPath.from_asns([2, 1]).prepend(3)
+        assert path.asns() == (3, 2, 1)
+
+    def test_prepend_multiple(self):
+        path = ASPath.from_asns([1]).prepend(9, count=3)
+        assert path.asns() == (9, 9, 9, 1)
+        assert path.length() == 4
+
+    def test_prepend_onto_empty(self):
+        assert ASPath().prepend(7).asns() == (7,)
+
+    def test_prepend_invalid_count(self):
+        with pytest.raises(ValueError):
+            ASPath().prepend(1, count=0)
+
+    def test_contains(self):
+        path = ASPath.from_asns([3, 2, 1])
+        assert path.contains(2)
+        assert not path.contains(9)
+
+    def test_as_set_counts_as_one(self):
+        path = ASPath(
+            (
+                ASPathSegment(SegmentType.AS_SEQUENCE, (5, 4)),
+                ASPathSegment(SegmentType.AS_SET, (1, 2, 3)),
+            )
+        )
+        assert path.length() == 3  # 2 + 1
+
+    def test_as_set_canonicalized(self):
+        seg = ASPathSegment(SegmentType.AS_SET, (3, 1, 2, 1))
+        assert seg.asns == (1, 2, 3)
+
+    def test_origin_asn_skips_trailing_set(self):
+        path = ASPath(
+            (
+                ASPathSegment(SegmentType.AS_SEQUENCE, (5, 4)),
+                ASPathSegment(SegmentType.AS_SET, (1, 2)),
+            )
+        )
+        assert path.origin_asn == 4
+
+    def test_strip_private(self):
+        path = ASPath.from_asns([47065, 64512, 65000, 174])
+        stripped = path.strip_private()
+        assert stripped.asns() == (47065, 174)
+
+    def test_strip_private_removes_empty_segments(self):
+        path = ASPath.from_asns([64512, 64513])
+        assert path.strip_private().segments == ()
+
+    def test_str(self):
+        assert str(ASPath.from_asns([3, 2, 1])) == "3 2 1"
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            ASPathSegment(SegmentType.AS_SEQUENCE, ())
+
+
+class TestPrivateASN:
+    @pytest.mark.parametrize("asn", [64512, 65000, 65534, 4200000000, 4294967294])
+    def test_private(self, asn):
+        assert is_private_asn(asn)
+
+    @pytest.mark.parametrize("asn", [1, 174, 47065, 64511, 65535, 4199999999])
+    def test_public(self, asn):
+        assert not is_private_asn(asn)
+
+
+class TestCommunity:
+    def test_parse(self):
+        c = Community.parse("47065:100")
+        assert c == Community(47065, 100)
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            Community.parse("no-colon")
+
+    def test_packed_roundtrip(self):
+        c = Community(47065, 2000)
+        assert Community.from_packed(c.packed()) == c
+
+    def test_well_known(self):
+        assert NO_EXPORT == Community(0xFFFF, 0xFF01)
+
+    def test_str(self):
+        assert str(Community(1, 2)) == "1:2"
+
+
+class TestPathAttributes:
+    def test_defaults(self):
+        attrs = PathAttributes()
+        assert attrs.origin == Origin.IGP
+        assert attrs.local_pref is None
+        assert attrs.communities == frozenset()
+
+    def test_immutable_updates(self):
+        attrs = PathAttributes()
+        updated = attrs.with_local_pref(200).with_med(5)
+        assert updated.local_pref == 200 and updated.med == 5
+        assert attrs.local_pref is None  # original untouched
+
+    def test_prepended(self):
+        attrs = PathAttributes(as_path=ASPath.from_asns([1]))
+        assert attrs.prepended(2).as_path.asns() == (2, 1)
+
+    def test_add_communities(self):
+        attrs = PathAttributes().add_communities([Community(1, 1)])
+        attrs = attrs.add_communities([Community(2, 2)])
+        assert attrs.communities == {Community(1, 1), Community(2, 2)}
+
+    def test_hashable(self):
+        a = PathAttributes(as_path=ASPath.from_asns([1, 2]))
+        b = PathAttributes(as_path=ASPath.from_asns([1, 2]))
+        assert hash(a) == hash(b) and a == b
+
+    def test_reflected_sets_originator_once(self):
+        from repro.net.addr import IPAddress
+
+        attrs = PathAttributes()
+        r1 = attrs.reflected(IPAddress("10.0.0.1"), cluster_id=1)
+        r2 = r1.reflected(IPAddress("10.0.0.2"), cluster_id=2)
+        assert r2.originator_id == IPAddress("10.0.0.1")
+        assert r2.cluster_list == (2, 1)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=2**32 - 1), min_size=1, max_size=12))
+def test_prepend_then_strip_roundtrip(asns):
+    """Prepending a private ASN then stripping it restores the path."""
+    path = ASPath.from_asns(asns)
+    if any(is_private_asn(a) for a in asns):
+        return
+    assert path.prepend(64512).strip_private() == path
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=2**16 - 1), min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=5),
+)
+def test_prepend_increases_length_by_count(asns, count):
+    path = ASPath.from_asns(asns)
+    assert path.prepend(asns[0], count).length() == path.length() + count

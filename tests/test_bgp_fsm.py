@@ -1,0 +1,106 @@
+"""Exhaustive FSM transition tests."""
+
+import pytest
+
+from repro.bgp.fsm import BGPStateMachine, FsmError, FsmEvent, State
+
+
+def test_happy_path_to_established():
+    fsm = BGPStateMachine()
+    assert fsm.state == State.IDLE
+    fsm.fire(FsmEvent.MANUAL_START)
+    assert fsm.state == State.CONNECT
+    fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+    assert fsm.state == State.OPEN_SENT
+    fsm.fire(FsmEvent.OPEN_RECEIVED)
+    assert fsm.state == State.OPEN_CONFIRM
+    fsm.fire(FsmEvent.KEEPALIVE_RECEIVED)
+    assert fsm.established
+
+
+def test_transport_failure_goes_active():
+    fsm = BGPStateMachine()
+    fsm.fire(FsmEvent.MANUAL_START)
+    fsm.fire(FsmEvent.TRANSPORT_FAILED)
+    assert fsm.state == State.ACTIVE
+    fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+    assert fsm.state == State.OPEN_SENT
+
+
+@pytest.mark.parametrize(
+    "reset",
+    [
+        FsmEvent.MANUAL_STOP,
+        FsmEvent.NOTIFICATION_RECEIVED,
+        FsmEvent.HOLD_TIMER_EXPIRED,
+        FsmEvent.OPEN_INVALID,
+    ],
+)
+@pytest.mark.parametrize(
+    "setup",
+    [
+        [],
+        [FsmEvent.MANUAL_START],
+        [FsmEvent.MANUAL_START, FsmEvent.TRANSPORT_CONNECTED],
+        [FsmEvent.MANUAL_START, FsmEvent.TRANSPORT_CONNECTED, FsmEvent.OPEN_RECEIVED],
+        [
+            FsmEvent.MANUAL_START,
+            FsmEvent.TRANSPORT_CONNECTED,
+            FsmEvent.OPEN_RECEIVED,
+            FsmEvent.KEEPALIVE_RECEIVED,
+        ],
+    ],
+)
+def test_reset_events_from_any_state(setup, reset):
+    fsm = BGPStateMachine()
+    for event in setup:
+        fsm.fire(event)
+    fsm.fire(reset)
+    assert fsm.state == State.IDLE
+
+
+def test_illegal_events_raise():
+    fsm = BGPStateMachine()
+    with pytest.raises(FsmError):
+        fsm.fire(FsmEvent.UPDATE_RECEIVED)
+    fsm.fire(FsmEvent.MANUAL_START)
+    with pytest.raises(FsmError):
+        fsm.fire(FsmEvent.OPEN_RECEIVED)
+
+
+def test_update_requires_established():
+    fsm = BGPStateMachine()
+    fsm.fire(FsmEvent.MANUAL_START)
+    fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+    with pytest.raises(FsmError):
+        fsm.fire(FsmEvent.UPDATE_RECEIVED)
+
+
+def test_keepalive_keeps_established():
+    fsm = BGPStateMachine()
+    for event in [
+        FsmEvent.MANUAL_START,
+        FsmEvent.TRANSPORT_CONNECTED,
+        FsmEvent.OPEN_RECEIVED,
+        FsmEvent.KEEPALIVE_RECEIVED,
+        FsmEvent.KEEPALIVE_RECEIVED,
+        FsmEvent.UPDATE_RECEIVED,
+    ]:
+        fsm.fire(event)
+    assert fsm.established
+
+
+def test_history_and_observers():
+    fsm = BGPStateMachine()
+    seen = []
+    fsm.observers.append(lambda old, event, new: seen.append((old, new)))
+    fsm.fire(FsmEvent.MANUAL_START)
+    assert seen == [(State.IDLE, State.CONNECT)]
+    assert fsm.history[0] == (State.IDLE, FsmEvent.MANUAL_START, State.CONNECT)
+
+
+def test_can_fire():
+    fsm = BGPStateMachine()
+    assert fsm.can_fire(FsmEvent.MANUAL_START)
+    assert fsm.can_fire(FsmEvent.MANUAL_STOP)  # reset events always legal
+    assert not fsm.can_fire(FsmEvent.OPEN_RECEIVED)

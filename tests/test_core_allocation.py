@@ -1,0 +1,116 @@
+"""Prefix pool tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import Prefix
+from repro.core.allocation import AllocationError, PrefixPool
+
+SUPERNET = Prefix("184.164.224.0/19")
+
+
+class TestAllocate:
+    def test_first_fit_order(self):
+        pool = PrefixPool([SUPERNET])
+        a = pool.allocate("exp1")
+        b = pool.allocate("exp2")
+        assert a.prefix == Prefix("184.164.224.0/24")
+        assert b.prefix == Prefix("184.164.225.0/24")
+
+    def test_capacity_of_slash19(self):
+        pool = PrefixPool([SUPERNET])
+        assert pool.capacity(24) == 32
+        allocations = [pool.allocate(f"exp{i}") for i in range(32)]
+        assert len({a.prefix for a in allocations}) == 32
+        with pytest.raises(AllocationError):
+            pool.allocate("exp32")
+
+    def test_release_and_reuse(self):
+        pool = PrefixPool([SUPERNET])
+        a = pool.allocate("exp1")
+        pool.release(a.prefix)
+        b = pool.allocate("exp2")
+        assert b.prefix == a.prefix
+
+    def test_release_unknown(self):
+        pool = PrefixPool([SUPERNET])
+        with pytest.raises(AllocationError):
+            pool.release(Prefix("184.164.224.0/24"))
+
+    def test_release_owner(self):
+        pool = PrefixPool([SUPERNET])
+        pool.allocate("exp1")
+        pool.allocate("exp1")
+        pool.allocate("exp2")
+        released = pool.release_owner("exp1")
+        assert len(released) == 2
+        assert pool.allocations_for("exp1") == []
+        assert len(pool.allocations_for("exp2")) == 1
+
+    def test_owner_of_covers_more_specifics(self):
+        pool = PrefixPool([SUPERNET])
+        a = pool.allocate("exp1")
+        assert pool.owner_of(a.prefix) == "exp1"
+        sub = next(a.prefix.subnets(28))
+        assert pool.owner_of(sub) == "exp1"
+        assert pool.owner_of(Prefix("184.164.225.0/24")) is None
+
+    def test_contains(self):
+        pool = PrefixPool([SUPERNET])
+        assert pool.contains(Prefix("184.164.230.0/24"))
+        assert not pool.contains(Prefix("8.8.8.0/24"))
+
+    def test_donated_supernet(self):
+        pool = PrefixPool([SUPERNET])
+        pool.add_supernet(Prefix("198.51.100.0/24"))
+        for _ in range(32):
+            pool.allocate("bulk")
+        extra = pool.allocate("donated-user")
+        assert extra.prefix == Prefix("198.51.100.0/24")
+
+    def test_overlapping_supernet_rejected(self):
+        pool = PrefixPool([SUPERNET])
+        with pytest.raises(AllocationError):
+            pool.add_supernet(Prefix("184.164.224.0/20"))
+
+    def test_variable_lengths(self):
+        pool = PrefixPool([SUPERNET])
+        a = pool.allocate("big", length=21)
+        assert a.prefix.length == 21
+        b = pool.allocate("small", length=24)
+        assert not a.prefix.overlaps(b.prefix)
+
+    def test_free_count(self):
+        pool = PrefixPool([SUPERNET])
+        assert pool.free_count() == 32
+        pool.allocate("exp1")
+        assert pool.free_count() == 31
+        pool.allocate("big", length=23)  # costs two /24s
+        assert pool.free_count() == 29
+
+    def test_ipv6_pool(self):
+        pool = PrefixPool([Prefix("2604:4540::/32")])
+        a = pool.allocate("exp1", version=6)
+        assert a.prefix.length == 48
+        assert a.prefix.version == 6
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=32))
+def test_allocations_never_overlap(owners):
+    pool = PrefixPool([SUPERNET])
+    allocated = []
+    for owner in owners:
+        allocated.append(pool.allocate(owner).prefix)
+    for i, p in enumerate(allocated):
+        for q in allocated[i + 1 :]:
+            assert not p.overlaps(q)
+
+
+@given(st.integers(min_value=1, max_value=31), st.integers(min_value=0, max_value=30))
+def test_release_restores_capacity(n_alloc, release_idx):
+    pool = PrefixPool([SUPERNET])
+    allocations = [pool.allocate("x") for _ in range(n_alloc)]
+    before = pool.free_count()
+    victim = allocations[release_idx % n_alloc]
+    pool.release(victim.prefix)
+    assert pool.free_count() == before + 1

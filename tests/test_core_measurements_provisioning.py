@@ -1,0 +1,174 @@
+"""Tests for measurement collectors, provisioning, and MRT export."""
+
+import pytest
+
+from repro.bgp import mrt
+from repro.core import (
+    ControlPlaneCollector,
+    DataPlaneCollector,
+    MuxMode,
+    Provisioner,
+    ProvisioningDatabase,
+    RecordKind,
+    SiteConfig,
+    SiteKind,
+    Testbed,
+)
+from repro.inet.gen import InternetConfig
+from repro.inet.topology import ASKind
+
+
+@pytest.fixture()
+def world():
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=300, total_prefixes=20_000, seed=44)
+    )
+    client = testbed.register_client("exp1", "alice")
+    client.attach("amsterdam01")
+    # Transit too: peer-only announcements are invisible to the parts of
+    # the Internet that must descend from tier-1s (valley-free), which is
+    # exactly why the real testbed keeps university upstreams.
+    client.attach("gatech01")
+    client.announce(client.prefixes[0])
+    vantages = [
+        node.asn for node in testbed.graph.nodes() if node.kind is ASKind.ACCESS
+    ][:10]
+    return testbed, client, vantages
+
+
+class TestControlPlaneCollector:
+    def test_collect_observes_all_vantages(self, world):
+        testbed, client, vantages = world
+        collector = ControlPlaneCollector(testbed, vantages)
+        observations = collector.collect()
+        assert len(observations) == len(vantages)
+        assert all(o.prefix == client.prefixes[0] for o in observations)
+
+    def test_reachability_matrix(self, world):
+        testbed, client, vantages = world
+        collector = ControlPlaneCollector(testbed, vantages)
+        collector.collect()
+        matrix = collector.reachability_matrix()
+        reachable = matrix[client.prefixes[0]]
+        assert sum(reachable.values()) >= len(vantages) - 1  # nearly all see it
+
+    def test_scheduled_rounds(self, world):
+        testbed, _client, vantages = world
+        collector = ControlPlaneCollector(testbed, vantages)
+        collector.schedule_rounds(interval=60.0, rounds=3)
+        testbed.engine.run(until=200.0)
+        assert len(collector.observations) == 3 * len(vantages)
+
+    def test_withdrawal_visible(self, world):
+        testbed, client, vantages = world
+        collector = ControlPlaneCollector(testbed, vantages)
+        client.withdraw(client.prefixes[0])
+        assert collector.collect() == []
+
+    def test_mrt_export_roundtrip(self, world):
+        testbed, client, vantages = world
+        collector = ControlPlaneCollector(testbed, vantages)
+        collector.collect()
+        blob = collector.export_mrt()
+        records = list(mrt.read_records(blob))
+        assert len(records) == len(collector.observations)
+        peer_asn, local_asn, update = mrt.decode_update_record(records[0])
+        assert local_asn == testbed.asn
+        assert update.prefixes() or update.withdrawn_prefixes()
+
+
+class TestDataPlaneCollector:
+    def test_probes_delivered(self, world):
+        testbed, client, vantages = world
+        collector = DataPlaneCollector(testbed, vantages)
+        observations = collector.collect()
+        assert observations
+        assert collector.delivery_rate() > 0.8
+
+    def test_probe_records_path(self, world):
+        testbed, _client, vantages = world
+        collector = DataPlaneCollector(testbed, vantages)
+        observations = collector.collect()
+        delivered = [o for o in observations if o.delivered]
+        assert delivered
+        assert all(o.path[-1] == testbed.asn for o in delivered)
+
+    def test_blackhole_after_withdraw(self, world):
+        testbed, client, vantages = world
+        collector = DataPlaneCollector(testbed, vantages)
+        client.withdraw(client.prefixes[0])
+        client.announce(client.prefixes[0], peers=[])  # announce to nobody
+        observations = collector.collect()
+        assert all(not o.delivered for o in observations)
+
+
+class TestProvisioning:
+    def test_database_upsert_and_history(self):
+        db = ProvisioningDatabase()
+        db.upsert(RecordKind.SITE, "x", country="US")
+        db.upsert(RecordKind.SITE, "x", country="NL")
+        assert db.lookup(RecordKind.SITE, "x").get("country") == "NL"
+        assert len(db.history(RecordKind.SITE, "x")) == 2
+        assert len(db) == 2
+
+    def test_record_existing_sites(self, world):
+        testbed, _client, _v = world
+        provisioner = Provisioner(testbed)
+        count = provisioner.record_existing_sites()
+        assert count == 9
+        assert len(provisioner.db.all_of(RecordKind.SITE)) == 9
+
+    def test_deploy_site_records(self, world):
+        testbed, _client, _v = world
+        provisioner = Provisioner(testbed)
+        transit = next(
+            node.asn for node in testbed.graph.nodes() if node.kind is ASKind.TRANSIT
+        )
+        record = provisioner.deploy_site(
+            SiteConfig(
+                name="mit01",
+                kind=SiteKind.UNIVERSITY,
+                country="US",
+                upstream_asns=(transit,),
+            )
+        )
+        assert record.get("site_kind") == "university"
+        assert "mit01" in testbed.servers
+
+    def test_deploy_client_workflow(self, world):
+        testbed, _client, _v = world
+        provisioner = Provisioner(testbed)
+        client = provisioner.deploy_client(
+            "exp2", "bob", server_names=["gatech01"], mode=MuxMode.QUAGGA
+        )
+        assert client.prefixes
+        record = provisioner.db.lookup(RecordKind.CLIENT, "exp2")
+        assert record.get("servers") == "gatech01"
+        allocation = provisioner.db.lookup(
+            RecordKind.ALLOCATION, str(client.prefixes[0])
+        )
+        assert allocation.get("owner") == "exp2"
+
+    def test_decommission(self, world):
+        testbed, _client, _v = world
+        provisioner = Provisioner(testbed)
+        client = provisioner.deploy_client("exp2", "bob", server_names=["gatech01"])
+        prefix = client.prefixes[0]
+        client.announce(prefix)
+        provisioner.decommission_client("exp2")
+        assert prefix not in testbed.announced_prefixes()
+        assert provisioner.db.lookup(RecordKind.CLIENT, "exp2").get("status") == "retired"
+
+    def test_decommission_unknown(self, world):
+        testbed, _client, _v = world
+        provisioner = Provisioner(testbed)
+        with pytest.raises(ValueError):
+            provisioner.decommission_client("ghost")
+
+    def test_configure_peering_existing(self, world):
+        testbed, _client, _v = world
+        provisioner = Provisioner(testbed)
+        server = testbed.server("amsterdam01")
+        peer = sorted(server.neighbor_asns)[0]
+        record = provisioner.configure_peering("amsterdam01", peer)
+        assert record.get("status") == "already-peered"

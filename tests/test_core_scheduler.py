@@ -1,0 +1,113 @@
+"""Tests for the announcement-scheduling web service."""
+
+import pytest
+
+from repro.core import (
+    AnnouncementScheduler,
+    SchedulerError,
+    ScheduleStatus,
+    Testbed,
+)
+from repro.inet.gen import InternetConfig
+
+
+@pytest.fixture()
+def world():
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=300, total_prefixes=20_000, seed=33)
+    )
+    client = testbed.register_client("exp1", "alice")
+    client.attach("gatech01")
+    scheduler = AnnouncementScheduler(testbed.engine, testbed.servers)
+    return testbed, client, scheduler
+
+
+class TestScheduling:
+    def test_announce_then_withdraw_window(self, world):
+        testbed, client, scheduler = world
+        prefix = client.prefixes[0]
+        task = scheduler.schedule("exp1", prefix, "gatech01", start=10.0, duration=50.0)
+        assert task.status is ScheduleStatus.PENDING
+        testbed.engine.run(until=11.0)
+        assert task.status is ScheduleStatus.RUNNING
+        assert prefix in testbed.announced_prefixes()
+        testbed.engine.run(until=100.0)
+        assert task.status is ScheduleStatus.DONE
+        assert prefix not in testbed.announced_prefixes()
+
+    def test_open_ended_announcement(self, world):
+        testbed, client, scheduler = world
+        prefix = client.prefixes[0]
+        task = scheduler.schedule("exp1", prefix, "gatech01", start=5.0)
+        testbed.engine.run(until=100.0)
+        assert task.status is ScheduleStatus.RUNNING
+        assert prefix in testbed.announced_prefixes()
+
+    def test_notifications_fire(self, world):
+        testbed, client, scheduler = world
+        seen = []
+        scheduler.on_notify = lambda task, message: seen.append(message)
+        scheduler.schedule("exp1", client.prefixes[0], "gatech01", start=1.0, duration=2.0)
+        testbed.engine.run(until=10.0)
+        assert any("scheduled" in m for m in seen)
+        assert any("announced" in m for m in seen)
+        assert any("withdrew" in m for m in seen)
+
+    def test_conflicting_bookings_rejected(self, world):
+        testbed, client, scheduler = world
+        prefix = client.prefixes[0]
+        scheduler.schedule("exp1", prefix, "gatech01", start=10.0, duration=100.0)
+        with pytest.raises(SchedulerError):
+            scheduler.schedule("exp1", prefix, "gatech01", start=50.0, duration=10.0)
+
+    def test_sequential_bookings_allowed(self, world):
+        testbed, client, scheduler = world
+        prefix = client.prefixes[0]
+        scheduler.schedule("exp1", prefix, "gatech01", start=10.0, duration=20.0)
+        task2 = scheduler.schedule("exp1", prefix, "gatech01", start=40.0, duration=20.0)
+        testbed.engine.run(until=100.0)
+        assert task2.status is ScheduleStatus.DONE
+
+    def test_past_start_rejected(self, world):
+        testbed, client, scheduler = world
+        testbed.engine.run(until=100.0)
+        with pytest.raises(SchedulerError):
+            scheduler.schedule("exp1", client.prefixes[0], "gatech01", start=50.0)
+
+    def test_unknown_server(self, world):
+        _testbed, client, scheduler = world
+        with pytest.raises(SchedulerError):
+            scheduler.schedule("exp1", client.prefixes[0], "nowhere01", start=10.0)
+
+    def test_cancel_pending(self, world):
+        testbed, client, scheduler = world
+        task = scheduler.schedule("exp1", client.prefixes[0], "gatech01", start=10.0)
+        scheduler.cancel(task.task_id)
+        testbed.engine.run(until=20.0)
+        assert task.status is ScheduleStatus.CANCELLED
+        assert client.prefixes[0] not in testbed.announced_prefixes()
+
+    def test_cancel_running_withdraws(self, world):
+        testbed, client, scheduler = world
+        task = scheduler.schedule("exp1", client.prefixes[0], "gatech01", start=1.0)
+        testbed.engine.run(until=5.0)
+        scheduler.cancel(task.task_id)
+        assert client.prefixes[0] not in testbed.announced_prefixes()
+
+    def test_failed_announcement_reported(self, world):
+        """Scheduling a prefix the client does not own fails at execution
+        (the safety layer, not the scheduler, is the authority)."""
+        from repro.net.addr import Prefix
+
+        testbed, client, scheduler = world
+        foreign = Prefix("184.164.230.0/24")  # in pool but not allocated
+        task = scheduler.schedule("exp1", foreign, "gatech01", start=1.0)
+        testbed.engine.run(until=5.0)
+        assert task.status is ScheduleStatus.FAILED
+        assert "not allocated" in task.failure
+
+    def test_tasks_for_client(self, world):
+        _testbed, client, scheduler = world
+        scheduler.schedule("exp1", client.prefixes[0], "gatech01", start=1.0, duration=1.0)
+        assert len(scheduler.tasks_for("exp1")) == 1
+        assert scheduler.tasks_for("nobody") == []

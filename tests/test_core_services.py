@@ -1,0 +1,201 @@
+"""Tests for server-side packet processing (pipeline + service VMs)."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.core.services import (
+    Action,
+    Match,
+    PacketPipeline,
+    Rule,
+    ServiceHost,
+    Verdict,
+)
+from repro.inet.gen import InternetConfig
+from repro.net.addr import IPAddress, Prefix
+from repro.net.packet import Packet
+
+
+def packet(src="198.18.0.1", dst="184.164.224.1", proto="udp"):
+    return Packet(src=IPAddress(src), dst=IPAddress(dst), proto=proto)
+
+
+class TestMatch:
+    def test_wildcard_matches_everything(self):
+        assert Match().hits(packet())
+
+    def test_src_prefix(self):
+        m = Match(src=Prefix("198.18.0.0/15"))
+        assert m.hits(packet())
+        assert not m.hits(packet(src="10.0.0.1"))
+
+    def test_dst_prefix(self):
+        m = Match(dst=Prefix("184.164.224.0/24"))
+        assert m.hits(packet())
+        assert not m.hits(packet(dst="8.8.8.8"))
+
+    def test_proto(self):
+        m = Match(proto="icmp-echo")
+        assert not m.hits(packet())
+        assert m.hits(packet(proto="icmp-echo"))
+
+    def test_conjunction(self):
+        m = Match(src=Prefix("198.18.0.0/15"), proto="udp")
+        assert m.hits(packet())
+        assert not m.hits(packet(proto="tcp"))
+
+
+class TestPipeline:
+    def test_first_match_wins(self):
+        pipeline = PacketPipeline()
+        pipeline.add_rule(Rule("drop-all-udp", Match(proto="udp"), Action.DROP))
+        pipeline.add_rule(Rule("accept", Match()))
+        assert pipeline.evaluate(packet()).action is Action.DROP
+        assert pipeline.evaluate(packet(proto="tcp")).action is Action.ACCEPT
+
+    def test_default_accept(self):
+        assert PacketPipeline().evaluate(packet()).action is Action.ACCEPT
+
+    def test_rewrite(self):
+        pipeline = PacketPipeline()
+        pipeline.add_rule(
+            Rule(
+                "nat",
+                Match(dst=Prefix("184.164.224.0/24")),
+                Action.REWRITE,
+                rewrite_dst=IPAddress("10.9.9.9"),
+            )
+        )
+        verdict = pipeline.evaluate(packet())
+        assert verdict.action is Action.REWRITE
+        assert verdict.packet.dst == IPAddress("10.9.9.9")
+        assert verdict.packet.src == packet().src
+
+    def test_divert(self):
+        pipeline = PacketPipeline()
+        pipeline.add_rule(
+            Rule("scrub", Match(proto="udp"), Action.DIVERT, divert_to="scrubber")
+        )
+        verdict = pipeline.evaluate(packet())
+        assert verdict.action is Action.DIVERT
+        assert verdict.client_id == "scrubber"
+
+    def test_rate_limit(self):
+        pipeline = PacketPipeline()
+        rule = pipeline.add_rule(Rule("limit", Match(), rate_limit=3))
+        verdicts = [pipeline.evaluate(packet()).action for _ in range(5)]
+        assert verdicts == [Action.ACCEPT] * 3 + [Action.DROP] * 2
+        assert rule.dropped_by_rate == 2
+        pipeline.tick()
+        assert pipeline.evaluate(packet()).action is Action.ACCEPT
+
+    def test_counters(self):
+        pipeline = PacketPipeline()
+        rule = pipeline.add_rule(Rule("count", Match(proto="udp")))
+        pipeline.evaluate(packet())
+        pipeline.evaluate(packet(proto="tcp"))
+        assert rule.hits == 1
+        assert pipeline.processed == 2
+
+    def test_remove_rule(self):
+        pipeline = PacketPipeline()
+        pipeline.add_rule(Rule("drop", Match(), Action.DROP))
+        assert pipeline.remove_rule("drop")
+        assert not pipeline.remove_rule("drop")
+        assert pipeline.evaluate(packet()).action is Action.ACCEPT
+
+    def test_rule_lookup(self):
+        pipeline = PacketPipeline()
+        pipeline.add_rule(Rule("a", Match()))
+        assert pipeline.rule("a").name == "a"
+        with pytest.raises(KeyError):
+            pipeline.rule("zz")
+
+    def test_insert_at_index(self):
+        pipeline = PacketPipeline()
+        pipeline.add_rule(Rule("accept", Match()))
+        pipeline.add_rule(Rule("drop", Match(), Action.DROP), index=0)
+        assert pipeline.evaluate(packet()).action is Action.DROP
+
+
+@pytest.fixture()
+def world():
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=300, total_prefixes=20_000, seed=50)
+    )
+    client = testbed.register_client("svc", "alice")
+    client.attach("amsterdam01")
+    client.attach("gatech01")
+    client.announce(client.prefixes[0])
+    host = ServiceHost(testbed.server("amsterdam01"))
+    return testbed, client, host
+
+
+class TestServiceHost:
+    def test_vm_sees_transit_packets(self, world):
+        testbed, client, host = world
+        seen = []
+        host.run_vm("dpi", lambda p: (seen.append(p), Verdict.accept())[1])
+        target = client.prefixes[0].first_address() + 1
+        vantage = next(
+            n.asn for n in testbed.graph.nodes() if n.kind.value == "access"
+        )
+        testbed.send_from(vantage, packet(dst=str(target)))
+        assert len(seen) == 1
+
+    def test_pipeline_drop_recorded(self, world):
+        testbed, client, host = world
+        host.pipeline.add_rule(
+            Rule("blackhole-udp", Match(proto="udp"), Action.DROP)
+        )
+        verdict, out = host.process(packet())
+        assert verdict.action is Action.DROP and out is None
+        assert len(host.dropped) == 1
+
+    def test_vm_after_pipeline(self, world):
+        """Pipeline ACCEPT falls through to VMs; pipeline DROP shadows."""
+        testbed, client, host = world
+        calls = []
+        host.run_vm("vm", lambda p: (calls.append(p), Verdict.accept())[1])
+        host.process(packet())
+        assert len(calls) == 1
+        host.pipeline.add_rule(Rule("drop", Match(), Action.DROP))
+        host.process(packet())
+        assert len(calls) == 1  # VM not consulted after pipeline drop
+
+    def test_rewrite_path(self, world):
+        """Decoy-routing style: rewrite the destination at the exchange."""
+        testbed, client, host = world
+        decoy = IPAddress("203.0.113.99")
+        host.pipeline.add_rule(
+            Rule(
+                "decoy",
+                Match(proto="covert"),
+                Action.REWRITE,
+                rewrite_dst=decoy,
+            )
+        )
+        verdict, out = host.process(packet(proto="covert"))
+        assert out.dst == decoy
+        assert host.rewritten and host.rewritten[0][0].dst != decoy
+
+    def test_divert_reaches_client_tunnel(self, world):
+        """ARROW-style: divert matched traffic into a client's tunnel."""
+        testbed, client, host = world
+        host.pipeline.add_rule(
+            Rule(
+                "to-client",
+                Match(dst=Prefix(str(client.prefixes[0]))),
+                Action.DIVERT,
+                divert_to="svc",
+            )
+        )
+        verdict, out = host.process(packet())
+        assert verdict.action is Action.DIVERT and out is None
+        assert host.diverted[0][0] == "svc"
+
+    def test_stop_vm(self, world):
+        _testbed, _client, host = world
+        host.run_vm("tmp", lambda p: Verdict.accept())
+        assert host.stop_vm("tmp")
+        assert not host.stop_vm("tmp")

@@ -1,0 +1,215 @@
+"""Tests for the IGP, Topology Zoo data, and the MinineXt manager."""
+
+import pytest
+
+from repro.net.addr import IPAddress, Prefix
+from repro.emulation.igp import IGPError, LinkStateDatabase
+from repro.emulation.mininext import EmulationError, MinineXt
+from repro.emulation.quagga import QuaggaMemoryModel
+from repro.emulation.topology_zoo import hurricane_electric, parse_gml
+
+
+class TestIGP:
+    @pytest.fixture
+    def square(self):
+        """a-b-c-d square with a diagonal shortcut a-c of metric 5."""
+        db = LinkStateDatabase()
+        for node in "abcd":
+            db.add_node(node)
+        db.add_link("a", "b", 1)
+        db.add_link("b", "c", 1)
+        db.add_link("c", "d", 1)
+        db.add_link("d", "a", 1)
+        db.add_link("a", "c", 5)
+        return db
+
+    def test_spf_distances(self, square):
+        spf = square.spf("a")
+        assert spf.distance == {"a": 0, "b": 1, "c": 2, "d": 1}
+
+    def test_spf_prefers_cheap_path_over_direct(self, square):
+        spf = square.spf("a")
+        assert spf.path_to("c") in (["a", "b", "c"], ["a", "d", "c"])
+        assert spf.metric_to("c") == 2
+
+    def test_next_hop(self, square):
+        spf = square.spf("a")
+        assert spf.next_hop["b"] == "b"
+        assert spf.next_hop["c"] in ("b", "d")
+
+    def test_path_to_self(self, square):
+        assert square.spf("a").path_to("a") == ["a"]
+
+    def test_unreachable(self, square):
+        square.add_node("lonely")
+        spf = square.spf("a")
+        assert spf.metric_to("lonely") is None
+        assert spf.path_to("lonely") == []
+
+    def test_unknown_node(self, square):
+        with pytest.raises(IGPError):
+            square.spf("zz")
+        with pytest.raises(IGPError):
+            square.add_link("a", "zz")
+
+    def test_bad_metric(self, square):
+        with pytest.raises(IGPError):
+            square.add_link("a", "b", 0)
+
+    def test_remove_link_forces_reroute(self, square):
+        square.remove_link("a", "b")
+        spf = square.spf("a")
+        assert spf.distance["b"] == 3  # a-d-c-b once the direct link dies
+
+    def test_converged_routes_all_sources(self, square):
+        routes = square.converged_routes()
+        assert set(routes) == {"a", "b", "c", "d"}
+
+    def test_deterministic_tiebreak(self, square):
+        first = square.spf("a").next_hop["c"]
+        for _ in range(5):
+            assert square.spf("a").next_hop["c"] == first
+
+
+class TestTopologyZoo:
+    def test_he_has_24_pops(self):
+        he = hurricane_electric()
+        assert len(he.pops) == 24
+
+    def test_he_connected(self):
+        hurricane_electric().validate()
+
+    def test_he_has_amsterdam(self):
+        he = hurricane_electric()
+        ams = he.pop("AMS")
+        assert ams.city == "Amsterdam"
+        assert he.neighbors("AMS")
+
+    def test_unknown_pop(self):
+        with pytest.raises(KeyError):
+            hurricane_electric().pop("XXX")
+
+    def test_parse_gml_roundtrip(self):
+        gml = """
+        graph [
+          label "TinyNet"
+          node [ id 0 label "A" Latitude 1.0 Longitude 2.0 Country "NL" ]
+          node [ id 1 label "B" Latitude 3.0 Longitude 4.0 Country "DE" ]
+          edge [ source 0 target 1 ]
+        ]
+        """
+        topo = parse_gml(gml)
+        assert [p.name for p in topo.pops] == ["A", "B"]
+        assert topo.links == [("A", "B")]
+        assert topo.pop("A").country == "NL"
+        topo.validate()
+
+
+class TestMinineXt:
+    def test_container_loopbacks_unique(self):
+        emu = MinineXt()
+        a = emu.add_container("a")
+        b = emu.add_container("b")
+        assert a.loopback != b.loopback
+
+    def test_duplicate_container(self):
+        emu = MinineXt()
+        emu.add_container("a")
+        with pytest.raises(EmulationError):
+            emu.add_container("a")
+
+    def test_unknown_container_link(self):
+        emu = MinineXt()
+        emu.add_container("a")
+        with pytest.raises(EmulationError):
+            emu.add_link("a", "zz")
+
+    def test_double_router(self):
+        emu = MinineXt()
+        emu.add_container("a")
+        emu.add_quagga("a", asn=1)
+        with pytest.raises(EmulationError):
+            emu.add_quagga("a", asn=1)
+
+    def test_full_mesh_propagates(self):
+        emu = MinineXt()
+        for name in ("a", "b", "c"):
+            emu.add_container(name)
+            emu.add_quagga(name, asn=65000)
+        emu.add_link("a", "b")
+        emu.add_link("b", "c")
+        assert emu.ibgp_full_mesh() == 3
+        emu.container("a").service.originate(Prefix("192.0.2.0/24"))
+        emu.converge()
+        assert emu.total_routes() == {"a": 1, "b": 1, "c": 1}
+
+    def test_route_reflector_hub(self):
+        emu = MinineXt()
+        for name in ("hub", "s1", "s2"):
+            emu.add_container(name)
+            emu.add_quagga(name, asn=65000)
+            if name != "hub":
+                emu.add_link("hub", name)
+        emu.ibgp_route_reflector("hub")
+        emu.container("s1").service.originate(Prefix("192.0.2.0/24"))
+        emu.converge()
+        assert emu.total_routes()["s2"] == 1
+
+    def test_adjacent_sessions_relay_across_backbone(self):
+        """The §4.2 configuration: iBGP only between adjacent PoPs."""
+        he = hurricane_electric()
+        emu = MinineXt.from_zoo(he)
+        for pop in he.pops:
+            emu.add_quagga(pop.name, asn=6939)
+        emu.ibgp_adjacent_sessions()
+        emu.container("AMS").service.originate(Prefix("216.218.0.0/24"))
+        emu.converge(duration=600)
+        tables = emu.total_routes()
+        assert all(count == 1 for count in tables.values())
+
+    def test_igp_metric_biases_selection(self):
+        """Hot-potato: with two iBGP paths, the closer next hop wins."""
+        emu = MinineXt()
+        for name in ("west", "mid", "east"):
+            emu.add_container(name)
+            emu.add_quagga(name, asn=65000)
+        emu.add_link("west", "mid", metric=1)
+        emu.add_link("mid", "east", metric=1)
+        emu.ibgp_full_mesh()
+        # west and east both originate the prefix; mid should pick the
+        # lower-IGP-metric copy... equal here, so pick deterministic peer.
+        emu.container("west").service.originate(Prefix("192.0.2.0/24"))
+        emu.converge()
+        best = emu.container("mid").service.router.best_route(Prefix("192.0.2.0/24"))
+        assert best is not None
+        assert best.igp_metric == 1
+
+    def test_external_peer_attachment(self):
+        from repro.bgp.router import BGPRouter, PeerConfig
+        from repro.sim import Engine
+
+        emu = MinineXt()
+        emu.add_container("gw")
+        emu.add_quagga("gw", asn=65000)
+        endpoint, _config = emu.external_peer("gw", remote_asn=47065)
+        external = BGPRouter(emu.engine, asn=47065, router_id=IPAddress("10.0.0.47"))
+        session = external.add_peer(
+            PeerConfig("to-gw", 65000, IPAddress("10.0.0.47")), endpoint
+        )
+        session.start()
+        external.originate(Prefix("184.164.224.0/24"))
+        emu.converge()
+        assert emu.total_routes()["gw"] == 1
+
+    def test_memory_model_monotone(self):
+        model = QuaggaMemoryModel()
+        assert model.table_bytes(1000, 2) < model.table_bytes(1000, 4)
+        assert model.table_bytes(1000, 2) < model.table_bytes(2000, 2)
+        assert model.table_megabytes(500_000, 1) > 100  # full table is big
+
+    def test_modeled_memory_counts_routers(self):
+        emu = MinineXt()
+        emu.add_container("a")
+        emu.add_quagga("a", asn=1)
+        base = emu.modeled_memory_bytes()
+        assert base >= QuaggaMemoryModel().baseline

@@ -1,0 +1,229 @@
+"""Tests for connectivity analysis and the AS-level data plane."""
+
+import pytest
+
+from repro.net.addr import IPAddress, Prefix
+from repro.net.packet import Packet
+from repro.inet.analysis import (
+    country_coverage,
+    peer_export_sizes,
+    peer_reachability,
+    top_cone_overlap,
+)
+from repro.inet.dataplane import DataPlane, DeliveryStatus
+from repro.inet.routing import Announcement, OriginSpec, propagate
+from repro.inet.topology import ASGraph, ASNode
+
+
+def build_world():
+    g = ASGraph()
+    for asn, country, prefixes in [
+        (1, "US", 10),
+        (3, "NL", 100),
+        (4, "DE", 50),
+        (5, "FR", 30),
+        (6, "GB", 20),
+        (7, "JP", 400),
+        (47065, "NL", 1),
+    ]:
+        g.add_as(ASNode(asn=asn, country=country, prefix_count=prefixes))
+    g.add_provider(3, 1)
+    g.add_provider(4, 1)
+    g.add_provider(5, 3)
+    g.add_provider(6, 4)
+    g.add_provider(7, 1)
+    g.add_peering(47065, 3)
+    g.add_peering(47065, 4)
+    return g
+
+
+class TestPeerReachability:
+    def test_reachable_is_union_of_cones(self):
+        g = build_world()
+        reach = peer_reachability(g, 47065)
+        assert reach.reachable_asns == {3, 4, 5, 6}
+        assert reach.reachable_prefixes == 100 + 50 + 30 + 20
+        assert reach.total_prefixes == 611
+
+    def test_fraction(self):
+        g = build_world()
+        reach = peer_reachability(g, 47065)
+        assert reach.prefix_fraction == pytest.approx(200 / 611)
+
+    def test_per_peer_sizes(self):
+        g = build_world()
+        sizes = dict(peer_export_sizes(g, 47065))
+        assert sizes == {3: 130, 4: 70}
+
+    def test_export_sorted_descending(self):
+        g = build_world()
+        exports = peer_export_sizes(g, 47065)
+        assert exports[0][0] == 3
+
+    def test_no_peers(self):
+        g = build_world()
+        reach = peer_reachability(g, 7)
+        assert reach.peer_count == 0 and reach.reachable_prefixes == 0
+
+
+class TestCoverageHelpers:
+    def test_country_coverage(self):
+        g = build_world()
+        assert country_coverage(g, {3, 4, 5}) == {"NL", "DE", "FR"}
+
+    def test_top_cone_overlap(self):
+        g = build_world()
+        overlap = top_cone_overlap(g, {3, 4}, cutoffs=(2, 4))
+        # ranking: 1 (cone 6... includes 3,4,5,6,7), then 3 (cone {3,5}),
+        # then 4 (cone {4,6}) -- ties by asn
+        assert overlap[2] == 1  # only 3 in top 2
+        assert overlap[4] == 2
+
+
+def two_origin_world():
+    g = ASGraph()
+    for asn in (1, 3, 4, 5, 66, 9):
+        g.add_as(ASNode(asn=asn))
+    g.add_provider(3, 1)
+    g.add_provider(4, 1)
+    g.add_provider(5, 3)  # victim
+    g.add_provider(66, 4)  # hijacker
+    g.add_provider(9, 4)  # bystander near hijacker
+    return g
+
+
+class TestDataPlane:
+    def test_delivery_follows_control_plane(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        prefix = Prefix("184.164.224.0/24")
+        plane.install(prefix, outcome, owner=5)
+        delivery = plane.send(
+            9, Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"))
+        )
+        assert delivery.status is DeliveryStatus.DELIVERED
+        assert delivery.path == (9, 4, 1, 3, 5)
+        assert delivery.final_asn == 5
+
+    def test_blackhole_when_no_route(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5, announce_to=()))
+        plane = DataPlane(g)
+        prefix = Prefix("184.164.224.0/24")
+        plane.install(prefix, outcome, owner=5)
+        delivery = plane.send(
+            9, Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"))
+        )
+        assert delivery.status is DeliveryStatus.BLACKHOLE
+
+    def test_no_matching_prefix(self):
+        g = two_origin_world()
+        plane = DataPlane(g)
+        delivery = plane.send(9, Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("10.0.0.1")))
+        assert delivery.status is DeliveryStatus.BLACKHOLE
+
+    def test_hijack_interception_detected(self):
+        g = two_origin_world()
+        contested = propagate(
+            g, Announcement(origins=(OriginSpec(asn=5), OriginSpec(asn=66)))
+        )
+        plane = DataPlane(g)
+        prefix = Prefix("184.164.224.0/24")
+        plane.install(prefix, contested, owner=5)
+        delivery = plane.send(
+            9, Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"))
+        )
+        assert delivery.status is DeliveryStatus.INTERCEPTED
+        assert delivery.final_asn == 66
+
+    def test_more_specific_attracts_traffic(self):
+        """A /25 hijack overrides the legitimate /24 (LPM on outcomes)."""
+        g = two_origin_world()
+        legit = propagate(g, Announcement.single(5))
+        hijack = propagate(g, Announcement.single(66))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), legit, owner=5)
+        plane.install(Prefix("184.164.224.0/25"), hijack, owner=5)
+        delivery = plane.send(
+            3, Packet(src=IPAddress("3.3.3.3"), dst=IPAddress("184.164.224.1"))
+        )
+        assert delivery.final_asn == 66
+        assert delivery.status is DeliveryStatus.INTERCEPTED
+
+    def test_source_validation_blocks_spoofing(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        plane.enable_source_validation(9)
+        spoofed = Packet(src=IPAddress("8.8.8.8"), dst=IPAddress("184.164.224.1"))
+        delivery = plane.send(9, spoofed, legitimate_sources={Prefix("9.0.0.0/8")})
+        assert delivery.status is DeliveryStatus.SOURCE_FILTERED
+
+    def test_source_validation_allows_legitimate(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        plane.enable_source_validation(9)
+        packet = Packet(src=IPAddress("9.1.2.3"), dst=IPAddress("184.164.224.1"))
+        delivery = plane.send(9, packet, legitimate_sources={Prefix("9.0.0.0/8")})
+        assert delivery.status is DeliveryStatus.DELIVERED
+
+    def test_ttl_expiry(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        packet = Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"), ttl=2)
+        delivery = plane.send(9, packet)
+        assert delivery.status is DeliveryStatus.TTL_EXPIRED
+
+    def test_tap_sees_transit_traffic(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        seen = []
+        plane.register_tap(1, seen.append)
+        plane.send(9, Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1")))
+        assert len(seen) == 1
+
+    def test_traceroute(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        assert plane.traceroute(9, IPAddress("184.164.224.1"), IPAddress("9.9.9.9")) == [
+            9, 4, 1, 3, 5,
+        ]
+
+    def test_catchment(self):
+        g = two_origin_world()
+        contested = propagate(
+            g, Announcement(origins=(OriginSpec(asn=5), OriginSpec(asn=66)))
+        )
+        plane = DataPlane(g)
+        prefix = Prefix("184.164.224.0/24")
+        plane.install(prefix, contested, owner=5)
+        catchment = plane.catchment(prefix)
+        assert catchment[3] == 5
+        assert catchment[9] == 66
+        assert catchment[4] == 66
+
+    def test_catchment_unknown_prefix(self):
+        g = two_origin_world()
+        plane = DataPlane(g)
+        with pytest.raises(KeyError):
+            plane.catchment(Prefix("10.0.0.0/8"))
+
+    def test_uninstall(self):
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        prefix = Prefix("184.164.224.0/24")
+        plane.install(prefix, outcome, owner=5)
+        plane.uninstall(prefix)
+        delivery = plane.send(9, Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1")))
+        assert delivery.status is DeliveryStatus.BLACKHOLE

@@ -1,0 +1,235 @@
+"""Gao–Rexford propagation tests: preference, valley-freeness, steering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.inet.routing import Announcement, OriginSpec, RouteKind, propagate
+from repro.inet.topology import ASGraph, ASNode
+
+
+def graph_from_edges(c2p=(), p2p=()):
+    g = ASGraph()
+    asns = {a for e in list(c2p) + list(p2p) for a in e}
+    for asn in sorted(asns):
+        g.add_as(ASNode(asn=asn))
+    for customer, provider in c2p:
+        g.add_provider(customer, provider)
+    for a, b in p2p:
+        g.add_peering(a, b)
+    return g
+
+
+@pytest.fixture
+def hierarchy():
+    """1 and 2 are tier-1 peers; 3,4 their customers (transits, peers of
+    each other); 5,6 stubs under 3 and 4."""
+    return graph_from_edges(
+        c2p=[(3, 1), (4, 2), (5, 3), (6, 4)],
+        p2p=[(1, 2), (3, 4)],
+    )
+
+
+class TestBasicPropagation:
+    def test_everyone_gets_a_route(self, hierarchy):
+        outcome = propagate(hierarchy, Announcement.single(5))
+        assert outcome.reachable_asns() == {1, 2, 3, 4, 5, 6}
+
+    def test_origin_has_empty_path(self, hierarchy):
+        outcome = propagate(hierarchy, Announcement.single(5))
+        route = outcome.route(5)
+        assert route.kind is RouteKind.ORIGIN and route.path == () and route.via is None
+
+    def test_customer_route_preferred_over_peer(self, hierarchy):
+        # AS 3: customer route to 5.
+        outcome = propagate(hierarchy, Announcement.single(5))
+        assert outcome.route(3).kind is RouteKind.CUSTOMER
+        assert outcome.route(3).path == (5,)
+
+    def test_peer_route_used_when_no_customer_route(self, hierarchy):
+        # AS 4 hears 5 via peer 3 (path 3,5) and via provider 2 (longer).
+        outcome = propagate(hierarchy, Announcement.single(5))
+        route = outcome.route(4)
+        assert route.kind is RouteKind.PEER
+        assert route.path == (3, 5)
+
+    def test_provider_route_last_resort(self, hierarchy):
+        # AS 6 only hears via its provider 4.
+        outcome = propagate(hierarchy, Announcement.single(5))
+        route = outcome.route(6)
+        assert route.kind is RouteKind.PROVIDER
+        assert route.path == (4, 3, 5)
+
+    def test_valley_free_no_peer_to_peer_transit(self):
+        # stub 5 under 3; 3 peers with 4; 4 peers with 9.  9 must NOT
+        # hear the route through 4 (peer route not exported to a peer).
+        g = graph_from_edges(c2p=[(5, 3)], p2p=[(3, 4), (4, 9)])
+        outcome = propagate(g, Announcement.single(5))
+        assert outcome.route(4) is not None
+        assert outcome.route(9) is None
+
+    def test_peer_route_not_exported_to_provider(self):
+        # 4 has provider 2 and peer 3 (origin's provider).  2 must not get
+        # the route via its customer 4.
+        g = graph_from_edges(c2p=[(5, 3), (4, 2)], p2p=[(3, 4)])
+        outcome = propagate(g, Announcement.single(5))
+        assert outcome.route(4).kind is RouteKind.PEER
+        assert outcome.route(2) is None
+
+    def test_shortest_path_tiebreak(self):
+        # Two provider chains to the origin; pick the shorter.
+        g = graph_from_edges(c2p=[(5, 3), (3, 1), (5, 4), (4, 2), (2, 1)])
+        outcome = propagate(g, Announcement.single(5))
+        assert outcome.route(1).path == (3, 5)
+
+    def test_lowest_asn_tiebreak(self):
+        g = graph_from_edges(c2p=[(5, 3), (5, 4), (3, 1), (4, 1)])
+        outcome = propagate(g, Announcement.single(5))
+        assert outcome.route(1).via == 3
+
+    def test_disconnected_as_unreachable(self):
+        g = graph_from_edges(c2p=[(5, 3)])
+        g.add_as(ASNode(asn=99))
+        outcome = propagate(g, Announcement.single(5))
+        assert not outcome.reaches(99)
+
+
+class TestSteering:
+    def test_prepending_shifts_choice(self):
+        # 9 hears via 3 (direct peer) and via 4; prepending toward all
+        # neighbors doesn't change relative choice, but per-path length
+        # grows.
+        g = graph_from_edges(c2p=[(5, 3), (5, 4), (3, 1), (4, 1)])
+        plain = propagate(g, Announcement.single(5))
+        assert plain.route(1).via == 3
+        prepended = propagate(
+            g,
+            Announcement(
+                origins=(OriginSpec(asn=5, prepend=2, announce_to=(3,)), OriginSpec(asn=5, announce_to=(4,)))
+            ),
+        )
+        # Note: multi-spec same origin is modeled as two origin specs; the
+        # simpler steering API is announce_to, tested below.
+        assert prepended.route(1) is not None
+
+    def test_selective_announcement(self):
+        """The PEERING primitive: announce via one provider only."""
+        g = graph_from_edges(c2p=[(5, 3), (5, 4), (3, 1), (4, 1)])
+        outcome = propagate(g, Announcement.single(5, announce_to=(4,)))
+        assert outcome.route(4).path == (5,)
+        assert outcome.route(3).kind is RouteKind.PROVIDER  # hears via 1
+        assert outcome.route(1).via == 4
+
+    def test_poisoning_excludes_as(self):
+        """LIFEGUARD-style: poison 3 so it drops the route."""
+        g = graph_from_edges(c2p=[(5, 3), (5, 4), (3, 1), (4, 1)])
+        outcome = propagate(g, Announcement.single(5, poison=(3,)))
+        assert outcome.route(3) is None
+        assert outcome.route(1).via == 4
+        assert 3 in outcome.route(4).path  # poisoned ASN visible in path
+
+    def test_poisoned_path_length(self):
+        g = graph_from_edges(c2p=[(5, 3)])
+        outcome = propagate(g, Announcement.single(5, poison=(9,)))
+        assert outcome.route(3).path == (5, 9, 5)
+
+    def test_announce_to_nobody(self):
+        g = graph_from_edges(c2p=[(5, 3)])
+        outcome = propagate(g, Announcement.single(5, announce_to=()))
+        assert outcome.route(3) is None
+
+
+class TestMultiOrigin:
+    def test_anycast_catchment_split(self):
+        # Origins 5 and 6 under different providers; each side drains to
+        # the nearest origin.
+        g = graph_from_edges(c2p=[(5, 3), (6, 4), (3, 1), (4, 1), (7, 3), (8, 4)])
+        outcome = propagate(
+            g, Announcement(origins=(OriginSpec(asn=5), OriginSpec(asn=6)))
+        )
+        assert outcome.route(7).path[-1] == 5
+        assert outcome.route(8).path[-1] == 6
+
+    def test_hijack_more_attractive_nearby(self):
+        """A hijacker attracts ASes closer to it than the victim."""
+        g = graph_from_edges(
+            c2p=[(5, 3), (3, 1), (66, 4), (4, 2), (9, 4)], p2p=[(1, 2)]
+        )
+        victim_only = propagate(g, Announcement.single(5))
+        assert victim_only.route(9).path[-1] == 5
+        contested = propagate(
+            g, Announcement(origins=(OriginSpec(asn=5), OriginSpec(asn=66)))
+        )
+        assert contested.route(9).path[-1] == 66  # closer bogus origin wins
+
+
+class TestExportsTo:
+    def test_peer_export_is_cone_only(self, hierarchy):
+        outcome = propagate(hierarchy, Announcement.single(5))
+        # 3 selected a customer route; it may export to peer 4.
+        exported = outcome.exports_to(3, 4)
+        assert exported is not None and exported.path == (3, 5)
+        # 4 selected a peer route; it must NOT export to peer... no peer,
+        # but not to provider 2 either.
+        assert outcome.exports_to(4, 2) is None
+
+    def test_provider_export_to_customer_allowed(self, hierarchy):
+        outcome = propagate(hierarchy, Announcement.single(5))
+        exported = outcome.exports_to(4, 6)
+        assert exported is not None and exported.path == (4, 3, 5)
+
+    def test_export_to_non_neighbor_rejected(self, hierarchy):
+        outcome = propagate(hierarchy, Announcement.single(5))
+        assert outcome.exports_to(3, 6) is None
+
+    def test_forwarding_chain(self, hierarchy):
+        outcome = propagate(hierarchy, Announcement.single(5))
+        assert outcome.forwarding_chain(6) == [6, 4, 3, 5]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_valley_free_paths(seed):
+    """Every selected path must be valley-free: once the path goes 'down'
+    (provider->customer) or 'across' (peer), it never goes 'up' again and
+    crosses at most one peer edge."""
+    import random
+
+    from repro.inet.gen import InternetConfig, build_internet
+
+    rng = random.Random(seed)
+    inet = build_internet(InternetConfig(n_ases=120, seed=seed, total_prefixes=2000))
+    graph = inet.graph
+    origin = rng.choice(list(graph.asns()))
+    outcome = propagate(graph, Announcement.single(origin))
+    for asn, route in outcome.items():
+        if route.via is None:
+            continue
+        hops = [asn] + list(route.path)
+        # Classify each adjacent pair.
+        kinds = []
+        valid = True
+        for a, b in zip(hops, hops[1:]):
+            if a == b:
+                continue  # prepending repeats
+            if b in graph.customers(a):
+                kinds.append("down")
+            elif b in graph.providers(a):
+                kinds.append("up")
+            elif b in graph.peers(a):
+                kinds.append("peer")
+            else:
+                valid = False  # poisoned segments only; none here
+        assert valid, f"non-adjacent hop in path {hops}"
+        # Valley-free: matches up* peer? down*
+        state = "up"
+        peers_crossed = 0
+        for kind in kinds:
+            if kind == "up":
+                assert state == "up", f"up after {state} in {hops}"
+            elif kind == "peer":
+                peers_crossed += 1
+                assert state == "up", f"peer after {state} in {hops}"
+                state = "down"
+            else:
+                state = "down"
+        assert peers_crossed <= 1

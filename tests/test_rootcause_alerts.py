@@ -1,0 +1,162 @@
+"""Tests for PoiRoot-style root-cause localization and hijack alerting."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.core.alerts import AlertKind, HijackDetector
+from repro.inet.gen import InternetConfig
+from repro.inet.rootcause import classify_changes, locate_root_cause
+from repro.inet.routing import Announcement, OriginSpec, propagate
+from repro.inet.topology import ASGraph, ASNode
+from repro.net.addr import Prefix
+
+
+def ladder_graph():
+    """origin 5 under transits 3 and 4; both under tier-1 1; vantage 9
+    under 1.  Flipping the origin's announcement between 3 and 4 changes
+    9's path with the origin as root cause."""
+    g = ASGraph()
+    for asn in (1, 3, 4, 5, 9):
+        g.add_as(ASNode(asn=asn))
+    g.add_provider(3, 1)
+    g.add_provider(4, 1)
+    g.add_provider(5, 3)
+    g.add_provider(5, 4)
+    g.add_provider(9, 1)
+    return g
+
+
+class TestRootCause:
+    def test_no_change_no_cause(self):
+        g = ladder_graph()
+        outcome = propagate(g, Announcement.single(5))
+        change = locate_root_cause(outcome, outcome, vantage=9)
+        assert not change.changed
+        assert change.root_cause is None
+
+    def test_origin_flip_localized_to_origin(self):
+        """Controlled path change (the PEERING ground-truth workflow):
+        the origin switches providers; the root cause is the origin."""
+        g = ladder_graph()
+        before = propagate(g, Announcement.single(5, announce_to=(3,)))
+        after = propagate(g, Announcement.single(5, announce_to=(4,)))
+        change = locate_root_cause(before, after, vantage=9)
+        assert change.changed
+        assert change.old_path != change.new_path
+        assert change.root_cause == 5
+        assert 9 not in change.induced or change.root_cause != 9
+
+    def test_midpath_change_localized_to_midpath(self):
+        """A transit changes its selection (simulated by poisoning it out
+        of one side): the cause is below the vantage, not the vantage."""
+        g = ladder_graph()
+        before = propagate(g, Announcement.single(5))
+        after = propagate(g, Announcement.single(5, poison=(3,)))
+        change = locate_root_cause(before, after, vantage=9)
+        if change.changed:
+            assert change.root_cause in (5, 3, 4, 1)
+            assert change.root_cause != 9 or change.induced == ()
+
+    def test_classify_changes_single_dominant_cause(self):
+        g = ladder_graph()
+        before = propagate(g, Announcement.single(5, announce_to=(3,)))
+        after = propagate(g, Announcement.single(5, announce_to=(4,)))
+        report = classify_changes(before, after, vantages=[1, 9, 3, 4])
+        assert report  # something changed
+        # The dominant cause across vantages is the origin itself.
+        dominant = max(report.items(), key=lambda kv: len(kv[1]))[0]
+        assert dominant == 5
+
+    def test_vantage_losing_route_entirely(self):
+        g = ladder_graph()
+        before = propagate(g, Announcement.single(5))
+        after = propagate(g, Announcement.single(5, announce_to=()))
+        change = locate_root_cause(before, after, vantage=9)
+        assert change.changed
+        assert change.new_path == ()
+
+
+@pytest.fixture()
+def world():
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=400, total_prefixes=30_000, seed=91)
+    )
+    client = testbed.register_client("victim", "alice")
+    client.attach("amsterdam01")
+    client.attach("gatech01")
+    client.announce(client.prefixes[0])
+    testbed.outcome_for(client.prefixes[0])  # flush pending propagation
+    vantages = [
+        node.asn for node in testbed.graph.nodes() if node.kind.value == "access"
+    ][:20]
+    detector = HijackDetector(testbed, vantages)
+    detector.register(client.prefixes[0], origins={testbed.asn})
+    return testbed, client, detector
+
+
+class TestHijackDetector:
+    def test_clean_state_no_alerts(self, world):
+        _testbed, _client, detector = world
+        assert detector.scan() == []
+
+    def test_origin_hijack_detected(self, world):
+        """An external AS announces the victim prefix: MOAS alert."""
+        testbed, client, detector = world
+        prefix = client.prefixes[0]
+        # The hijacker is a provider of one of our vantages, so at least
+        # that vantage prefers the bogus origin.
+        attacker = next(
+            provider
+            for vantage in detector.vantage_asns
+            for provider in sorted(testbed.graph.providers(vantage))
+        )
+        contested = propagate(
+            testbed.graph,
+            Announcement(
+                origins=(
+                    OriginSpec(asn=testbed.asn),
+                    OriginSpec(asn=attacker),
+                )
+            ),
+        )
+        testbed.dataplane.install(prefix, contested, owner=testbed.asn)
+        alerts = detector.scan()
+        hijacks = [a for a in alerts if a.kind is AlertKind.ORIGIN_HIJACK]
+        assert hijacks
+        assert hijacks[0].observed_origin == attacker
+        assert hijacks[0].vantages
+
+    def test_more_specific_detected(self, world):
+        testbed, client, detector = world
+        prefix = client.prefixes[0]
+        sub = next(prefix.subnets(25))
+        attacker = next(
+            node.asn for node in testbed.graph.nodes() if node.kind.value == "transit"
+        )
+        testbed.dataplane.install(
+            sub, propagate(testbed.graph, Announcement.single(attacker)), owner=attacker
+        )
+        alerts = detector.scan()
+        kinds = {a.kind for a in alerts}
+        assert AlertKind.MORE_SPECIFIC in kinds
+
+    def test_lost_visibility_detected(self, world):
+        testbed, client, detector = world
+        prefix = client.prefixes[0]
+        detector.scan()  # establish baseline visibility
+        client.withdraw(prefix)
+        client.announce(prefix, peers=[])  # dark announcement
+        alerts = detector.scan()
+        assert any(a.kind is AlertKind.LOST_VISIBILITY for a in alerts)
+
+    def test_scheduled_rounds(self, world):
+        testbed, _client, detector = world
+        detector.schedule_rounds(interval=60.0, rounds=3)
+        testbed.engine.run(until=200.0)
+        # Clean state: rounds ran without alerts.
+        assert detector.alerts == []
+
+    def test_alerts_for_filter(self, world):
+        testbed, client, detector = world
+        prefix = client.prefixes[0]
+        assert detector.alerts_for(prefix) == []

@@ -1,0 +1,122 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(5, lambda: order.append("b"))
+        engine.schedule(1, lambda: order.append("a"))
+        engine.schedule(9, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 9
+
+    def test_fifo_for_simultaneous(self):
+        engine = Engine()
+        order = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1, lambda: None)
+
+    def test_run_until(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1, lambda: fired.append(1))
+        engine.schedule(10, lambda: fired.append(10))
+        engine.run(until=5)
+        assert fired == [1]
+        assert engine.now == 5
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_for(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3, lambda: fired.append(3))
+        engine.run_for(2)
+        assert engine.now == 2 and fired == []
+        engine.run_for(2)
+        assert fired == [3]
+
+    def test_cancel(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(1, lambda: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1, lambda: chain(n + 1))
+
+        engine.schedule(0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3
+
+    def test_livelock_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(0, forever)
+
+        engine.schedule(0, forever)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+
+class TestTimer:
+    def test_fires_once(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(5, lambda: fired.append(engine.now))
+        timer.start()
+        engine.run()
+        assert fired == [5]
+        assert not timer.running
+
+    def test_restart_pushes_back(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(5, lambda: fired.append(engine.now))
+        timer.start()
+        engine.run(until=3)
+        timer.start()  # re-arm at t=3
+        engine.run()
+        assert fired == [8]
+
+    def test_stop(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(5, lambda: fired.append(1))
+        timer.start()
+        timer.stop()
+        engine.run()
+        assert fired == []
+
+    def test_interval_override(self):
+        engine = Engine()
+        fired = []
+        timer = engine.timer(5, lambda: fired.append(engine.now))
+        timer.start(interval=2)
+        engine.run()
+        assert fired == [2]
