@@ -1,0 +1,169 @@
+"""Fault recovery: how fast sessions heal, and what it costs.
+
+The robustness subsystem (``repro.faults``) promises that a testbed full
+of flapping links and crashing muxes converges back to ESTABLISHED
+without operator action.  This bench quantifies that:
+
+* **link flap recovery** — simulated seconds from a severed transport to
+  re-established, as a function of the IdleHold base (the RFC 4271
+  backoff knob);
+* **lossy wire establishment** — ConnectRetry cost of standing up a
+  session over a wire that drops a fraction of all messages;
+* **mux crash recovery** — wall-clock (simulated) gap between a mux
+  restart and every client session healing, plus the re-provisioning
+  traffic it took.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.bgp.session import BGPSession, SessionConfig
+from repro.core import Testbed
+from repro.faults import FaultConfig, FaultPlan, Link
+from repro.inet.gen import InternetConfig
+from repro.net.addr import IPAddress
+from repro.sim import Engine
+
+
+def build_link(engine, idle_hold_time=2.0, fault_config=None, hold_time=90):
+    left = BGPSession(
+        engine,
+        SessionConfig(
+            local_asn=47065,
+            peer_asn=3356,
+            local_id=IPAddress("10.0.0.1"),
+            hold_time=hold_time,
+            auto_reconnect=True,
+            idle_hold_time=idle_hold_time,
+            description="bench-L",
+        ),
+    )
+    right = BGPSession(
+        engine,
+        SessionConfig(
+            local_asn=3356,
+            peer_asn=47065,
+            local_id=IPAddress("10.0.0.2"),
+            hold_time=hold_time,
+            passive=True,
+            auto_reconnect=True,
+            idle_hold_time=idle_hold_time,
+            description="bench-R",
+        ),
+    )
+    link = Link(engine, left, right, name="bench", fault_config=fault_config)
+    link.start()
+    return link
+
+
+def run_flap_recovery(idle_hold_time: float, flaps: int = 20):
+    engine = Engine(seed=2014)
+    link = build_link(engine, idle_hold_time=idle_hold_time)
+    gaps = []
+    for _ in range(flaps):
+        down_at = engine.now
+        link.sever()
+        while not link.established:
+            engine.step()
+        gaps.append(engine.now - down_at)
+        engine.run_for(5)  # settle before the next flap
+    return {
+        "mean": sum(gaps) / len(gaps),
+        "worst": max(gaps),
+        "attempts": link.left.reconnect_attempts + link.right.reconnect_attempts,
+    }
+
+
+@pytest.mark.parametrize("idle_hold", [0.5, 2.0, 5.0])
+def test_link_flap_recovery(benchmark, idle_hold):
+    result = benchmark.pedantic(
+        run_flap_recovery, args=(idle_hold,), rounds=1, iterations=1
+    )
+    emit(
+        f"link flap recovery, IdleHold base {idle_hold:g}s (20 flaps)",
+        [
+            ["mean downtime (sim s)", f"{result['mean']:.2f}"],
+            ["worst downtime (sim s)", f"{result['worst']:.2f}"],
+            ["reconnect attempts", result["attempts"]],
+        ],
+    )
+    benchmark.extra_info.update(result)
+
+
+def run_lossy_establishment(drop_rate: float):
+    engine = Engine(seed=2014)
+    # A short hold time bounds how long a half-open handshake can wedge
+    # before the OpenSent hold timer retries it.
+    link = build_link(
+        engine,
+        idle_hold_time=1.0,
+        fault_config=FaultConfig(drop_rate=drop_rate),
+        hold_time=15,
+    )
+    engine.run_for(600)
+    stats = link.injector.stats
+    return {
+        "establishments": link.left.established_count,
+        "retries": link.left.connect_retry_count + link.right.connect_retry_count,
+        "dropped": stats.dropped,
+        "seen": stats.seen,
+    }
+
+
+@pytest.mark.parametrize("drop_rate", [0.0, 0.1, 0.3])
+def test_lossy_wire_establishment(benchmark, drop_rate):
+    result = benchmark.pedantic(
+        run_lossy_establishment, args=(drop_rate,), rounds=1, iterations=1
+    )
+    assert result["establishments"] >= 1
+    emit(
+        f"establishment over a {drop_rate:.0%}-loss wire (600 sim s)",
+        [
+            ["messages seen / dropped", f"{result['seen']} / {result['dropped']}"],
+            ["ConnectRetry failures", result["retries"]],
+            ["(re)establishments", result["establishments"]],
+        ],
+    )
+    benchmark.extra_info.update(result)
+
+
+def run_mux_crash_recovery():
+    tb = Testbed.build_default(
+        InternetConfig(n_ases=200, total_prefixes=10_000, seed=99)
+    )
+    client = tb.register_client("bench", "operator")
+    router = client.attach_bgp(
+        "gatech01",
+        resilient=True,
+        idle_hold_time=2.0,
+        graceful_restart=True,
+    )
+    router.originate(client.prefixes[0])
+    tb.engine.run_for(1)
+    gt = tb.server("gatech01")
+    plan = FaultPlan(tb.engine, "bench")
+    plan.crash_mux(gt, at=10.0, down_for=30.0)
+    sessions = client.attachments["gatech01"].sessions
+    tb.engine.run_for(39)  # to the restart
+    restart_at = tb.engine.now
+    while not all(s.established for s in sessions.values()):
+        tb.engine.step()
+    reprovisioned = len(tb.events.of_kind("session-reprovisioned"))
+    return {
+        "heal_time": tb.engine.now - restart_at,
+        "sessions": len(sessions),
+        "reprovisioned": reprovisioned,
+    }
+
+
+def test_mux_crash_recovery(benchmark):
+    result = benchmark.pedantic(run_mux_crash_recovery, rounds=1, iterations=1)
+    emit(
+        "mux crash (30 sim s outage) to full session recovery",
+        [
+            ["sessions healed", result["sessions"]],
+            ["re-provisioned channels", result["reprovisioned"]],
+            ["heal time after restart (sim s)", f"{result['heal_time']:.2f}"],
+        ],
+    )
+    benchmark.extra_info.update(result)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Mux failure and recovery, end to end.
+
+The PEERING paper (§3) argues the testbed must keep researcher
+experiments alive through the failures a real AS sees: flapping transit
+links, crashing mux processes, whole sites going dark.  This example
+walks every layer of the robustness subsystem:
+
+1. a client attaches to gatech01 with resilient BGP sessions
+   (auto-reconnect + graceful restart);
+2. a scripted :class:`~repro.faults.FaultPlan` bounces its sessions —
+   watch them re-establish with exponential backoff;
+3. the mux crashes and restarts — sessions are re-provisioned and the
+   client's announcements return on their own;
+4. the mux dies for good — the client fails over to the usc01 backup,
+   carrying its announcements along.
+
+Run:  python examples/mux_failover.py
+"""
+
+from repro.core import Testbed
+from repro.faults import FaultPlan
+from repro.inet.gen import InternetConfig
+
+
+def banner(text: str) -> None:
+    print(f"\n== {text} ==")
+
+
+def main() -> None:
+    banner("Building the testbed")
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=400, total_prefixes=30_000, seed=7)
+    )
+    engine = testbed.engine
+    engine.seed = 2014
+
+    # Print every fault/recovery event as it happens.
+    testbed.events.subscribe(print)
+
+    banner("Attaching a resilient client to gatech01")
+    client = testbed.register_client("failover-demo", researcher="you")
+    router = client.attach_bgp(
+        "gatech01",
+        resilient=True,
+        idle_hold_time=2.0,
+        graceful_restart=True,
+    )
+    prefix = client.prefixes[0]
+    router.originate(prefix)
+    engine.run_for(1)
+    sessions = client.attachments["gatech01"].sessions
+    print(f"{len(sessions)} BGP sessions established, {prefix} announced")
+    print(f"reachable from {len(testbed.outcome_for(prefix).reachable_asns())} ASes")
+
+    banner("Bouncing every session twice (transport loss, no CEASE)")
+    plan = FaultPlan(engine, "demo")
+    for i, session in enumerate(sessions.values()):
+        plan.bounce_session(session, at=engine.now + 2.0 + i, times=2, spacing=20.0)
+    engine.run_for(60)
+    for session in sessions.values():
+        spaced = ", ".join(f"{delay:.2f}s" for _, delay in session.reconnect_log)
+        print(
+            f"{session.config.description}: established {session.established_count}x,"
+            f" backoff delays [{spaced}]"
+        )
+
+    banner("Crashing gatech01 for 15 seconds")
+    gatech = testbed.server("gatech01")
+    plan.crash_mux(gatech, at=engine.now + 1.0, down_for=15.0)
+    engine.run_for(5)
+    print(f"mux alive={gatech.alive}; prefix announced: "
+          f"{prefix in testbed.announced_prefixes()}")
+    engine.run_for(60)
+    print(f"mux alive={gatech.alive}; sessions up: "
+          f"{sum(s.established for s in sessions.values())}/{len(sessions)}; "
+          f"prefix announced: {prefix in testbed.announced_prefixes()}")
+
+    banner("Killing gatech01 for good — automatic failover to usc01")
+    client.enable_failover("gatech01", "usc01")
+    gatech.crash()
+    engine.run_for(30)
+    backup = client.attachments["usc01"]
+    print(f"attached to: {sorted(client.attachments)}")
+    print(f"usc01 sessions up: "
+          f"{sum(s.established for s in backup.sessions.values())}"
+          f"/{len(backup.sessions)}")
+    print(f"prefix announced: {prefix in testbed.announced_prefixes()}, reachable "
+          f"from {len(testbed.outcome_for(prefix).reachable_asns())} ASes")
+
+    banner("Event log (faults and recoveries)")
+    interesting = testbed.events.of_kind(
+        "mux-crash", "mux-restart", "session-reprovisioned", "client-failover"
+    )
+    print(f"{len(testbed.events)} events total; the structural ones:")
+    for event in interesting:
+        print(f"  {event}")
+
+
+if __name__ == "__main__":
+    main()

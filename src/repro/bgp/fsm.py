@@ -27,6 +27,7 @@ class State(Enum):
 class FsmEvent(Enum):
     MANUAL_START = auto()
     MANUAL_STOP = auto()
+    AUTOMATIC_START = auto()  # IdleHold timer expired: retry without an operator
     TRANSPORT_CONNECTED = auto()
     TRANSPORT_FAILED = auto()
     OPEN_RECEIVED = auto()
@@ -45,11 +46,17 @@ class FsmError(Exception):
 # except the universally-resetting ones handled in `fire`.
 _TRANSITIONS: Dict[Tuple[State, FsmEvent], State] = {
     (State.IDLE, FsmEvent.MANUAL_START): State.CONNECT,
+    (State.IDLE, FsmEvent.AUTOMATIC_START): State.CONNECT,
     (State.CONNECT, FsmEvent.TRANSPORT_CONNECTED): State.OPEN_SENT,
     (State.CONNECT, FsmEvent.TRANSPORT_FAILED): State.ACTIVE,
     (State.ACTIVE, FsmEvent.TRANSPORT_CONNECTED): State.OPEN_SENT,
     (State.ACTIVE, FsmEvent.TRANSPORT_FAILED): State.ACTIVE,
     (State.OPEN_SENT, FsmEvent.OPEN_RECEIVED): State.OPEN_CONFIRM,
+    # RFC 4271 §8.2.2: losing the transport in OpenSent retries via
+    # Active; in OpenConfirm/Established the session restarts from Idle.
+    (State.OPEN_SENT, FsmEvent.TRANSPORT_FAILED): State.ACTIVE,
+    (State.OPEN_CONFIRM, FsmEvent.TRANSPORT_FAILED): State.IDLE,
+    (State.ESTABLISHED, FsmEvent.TRANSPORT_FAILED): State.IDLE,
     (State.OPEN_CONFIRM, FsmEvent.KEEPALIVE_RECEIVED): State.ESTABLISHED,
     (State.ESTABLISHED, FsmEvent.KEEPALIVE_RECEIVED): State.ESTABLISHED,
     (State.ESTABLISHED, FsmEvent.UPDATE_RECEIVED): State.ESTABLISHED,

@@ -77,6 +77,7 @@ class MessageType(IntEnum):
 class CapabilityCode(IntEnum):
     MULTIPROTOCOL = 1
     ROUTE_REFRESH = 2
+    GRACEFUL_RESTART = 64
     FOUR_OCTET_AS = 65
     ADD_PATH = 69
 
@@ -110,6 +111,34 @@ class Capability:
         safi: int = SAFI_UNICAST,
     ) -> "Capability":
         return cls(CapabilityCode.ADD_PATH, struct.pack("!HBB", afi, safi, direction))
+
+    @classmethod
+    def graceful_restart(cls, restart_time: int, restarted: bool = False) -> "Capability":
+        """RFC 4724 capability: 4 flag bits + 12-bit restart time (s).
+
+        ``restarted`` sets the R bit (this speaker has just restarted and
+        is re-establishing).  Per-AFI forwarding-state tuples are omitted:
+        the helper-mode semantics we model do not need them.
+        """
+        if not 0 <= restart_time <= 0xFFF:
+            raise ValueError(f"restart time {restart_time} outside 12-bit range")
+        flags = 0x8 if restarted else 0
+        return cls(CapabilityCode.GRACEFUL_RESTART, struct.pack("!H", (flags << 12) | restart_time))
+
+    def graceful_restart_time(self) -> int:
+        """The advertised restart time in seconds."""
+        if self.code != CapabilityCode.GRACEFUL_RESTART or len(self.data) < 2:
+            raise OpenError(
+                "not a graceful-restart capability", OpenSub.UNSUPPORTED_CAPABILITY
+            )
+        return struct.unpack_from("!H", self.data, 0)[0] & 0xFFF
+
+    def graceful_restart_flags(self) -> int:
+        if self.code != CapabilityCode.GRACEFUL_RESTART or len(self.data) < 2:
+            raise OpenError(
+                "not a graceful-restart capability", OpenSub.UNSUPPORTED_CAPABILITY
+            )
+        return struct.unpack_from("!H", self.data, 0)[0] >> 12
 
     def four_octet_asn(self) -> int:
         if self.code != CapabilityCode.FOUR_OCTET_AS or len(self.data) != 4:
@@ -152,7 +181,7 @@ def _decode_prefixes(
     while i < len(data):
         path_id: Optional[int] = None
         if add_path:
-            if i + 4 > len(data):
+            if i + 4 >= len(data):
                 raise UpdateError("truncated ADD-PATH path id", UpdateSub.INVALID_NETWORK_FIELD)
             path_id = struct.unpack_from("!I", data, i)[0]
             i += 4
@@ -195,6 +224,18 @@ class OpenMessage:
     @property
     def supports_add_path(self) -> bool:
         return self.capability(CapabilityCode.ADD_PATH) is not None
+
+    @property
+    def supports_graceful_restart(self) -> bool:
+        return self.capability(CapabilityCode.GRACEFUL_RESTART) is not None
+
+    @property
+    def graceful_restart_time(self) -> Optional[int]:
+        """Peer's advertised restart time, or None if not advertised."""
+        cap = self.capability(CapabilityCode.GRACEFUL_RESTART)
+        if cap is None:
+            return None
+        return cap.graceful_restart_time()
 
     def encode(self) -> bytes:
         header_asn = self.asn if self.asn <= 0xFFFF else AS_TRANS
@@ -474,6 +515,15 @@ class UpdateMessage:
                 raise ValueError("path_ids must align with prefixes")
             return cls(withdrawn=tuple(zip(path_ids, prefixes)), add_path=True)
         return cls(withdrawn=tuple((None, p) for p in prefixes))
+
+    @classmethod
+    def end_of_rib(cls) -> "UpdateMessage":
+        """The RFC 4724 End-of-RIB marker: an empty UPDATE."""
+        return cls()
+
+    @property
+    def is_end_of_rib(self) -> bool:
+        return not self.nlri and not self.withdrawn and self.attributes is None
 
     def prefixes(self) -> List[Prefix]:
         return [p for _, p in self.nlri]

@@ -37,6 +37,10 @@ class Route:
     weight: int = 0
     igp_metric: int = 0
     learned_at: float = 0.0
+    # RFC 4724: the route survived a graceful session restart and is kept
+    # in the decision process until the peer re-advertises (or a deadline
+    # flushes it).  Comparison field so marking shows up as a change.
+    stale: bool = False
 
     def with_attributes(self, attributes: PathAttributes) -> "Route":
         return replace(self, attributes=attributes)
@@ -99,6 +103,38 @@ class AdjRIBIn:
         dropped = list(self.routes())
         self._routes.clear()
         return dropped
+
+    # -- graceful restart (RFC 4724) -------------------------------------
+
+    def mark_all_stale(self) -> int:
+        """Stale-mark every route (peer restarting); returns the count.
+
+        Stale routes stay in the decision process; a re-announcement from
+        the recovered peer replaces them (the fresh :class:`Route` carries
+        ``stale=False``), and :meth:`flush_stale` sweeps the leftovers.
+        """
+        count = 0
+        for slot in self._routes.values():
+            for path_id, route in slot.items():
+                if not route.stale:
+                    slot[path_id] = replace(route, stale=True)
+                    count += 1
+        return count
+
+    def flush_stale(self) -> List[Route]:
+        """Drop every stale route (End-of-RIB or deadline); returns them."""
+        dropped: List[Route] = []
+        for prefix in list(self._routes):
+            slot = self._routes[prefix]
+            for path_id in list(slot):
+                if slot[path_id].stale:
+                    dropped.append(slot.pop(path_id))
+            if not slot:
+                del self._routes[prefix]
+        return dropped
+
+    def stale_count(self) -> int:
+        return sum(1 for route in self.routes() if route.stale)
 
     def __len__(self) -> int:
         return sum(len(slot) for slot in self._routes.values())
@@ -177,6 +213,17 @@ class AdjRIBOut:
 
     def path_ids(self, prefix: Prefix) -> List[Optional[int]]:
         return list(self._routes.get(prefix, {}).keys())
+
+    def clear(self) -> List[Route]:
+        """Forget all advertisements (session reset); returns them.
+
+        After a session bounce the peer has lost everything we sent, so the
+        next full export must re-advertise from scratch rather than being
+        suppressed by the duplicate check.
+        """
+        dropped = list(self.routes())
+        self._routes.clear()
+        return dropped
 
     def prefixes(self) -> Iterator[Prefix]:
         return iter(self._routes)

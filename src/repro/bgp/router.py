@@ -60,6 +60,12 @@ class PeerConfig:
     max_prefixes: Optional[int] = None
     route_reflector_client: bool = False
     next_hop_self_ibgp: bool = False
+    # Resilience knobs, passed through to the session (see SessionConfig).
+    auto_reconnect: bool = False
+    idle_hold_time: float = 5.0
+    idle_hold_max: float = 300.0
+    graceful_restart: bool = False
+    restart_time: int = 120
     description: str = ""
 
 
@@ -75,6 +81,11 @@ class _Peer:
         self.pending_withdraw: Set[Tuple[Prefix, Optional[int]]] = set()
         self.mrai_timer: Optional[Timer] = None
         self.prefix_limit_hit = False
+        # RFC 4724: armed when the peer goes down gracefully; flushes the
+        # stale-retained routes if the peer does not come back in time.
+        self.restart_deadline: Optional[Timer] = None
+        self.graceful_downs = 0
+        self.stale_flushes = 0
         self._path_ids = itertools.count(1)
         self._assigned_ids: Dict[Tuple[str, Optional[int]], int] = {}
 
@@ -125,8 +136,13 @@ class BGPRouter:
 
     # -- peer management -----------------------------------------------------
 
-    def add_peer(self, config: PeerConfig, endpoint: Endpoint) -> BGPSession:
-        """Register a neighbor reachable over ``endpoint``; returns its session."""
+    def add_peer(self, config: PeerConfig, endpoint: Optional[Endpoint]) -> BGPSession:
+        """Register a neighbor reachable over ``endpoint``; returns its session.
+
+        ``endpoint`` may be ``None`` when the transport will be supplied
+        later through the session's ``transport_factory`` (mux failover,
+        fault-injection links).
+        """
         if config.peer_id in self._peers:
             raise BGPError(f"duplicate peer id {config.peer_id!r}")
         session = BGPSession(
@@ -138,6 +154,11 @@ class BGPRouter:
                 hold_time=config.hold_time,
                 add_path=config.add_path,
                 passive=config.passive,
+                auto_reconnect=config.auto_reconnect,
+                idle_hold_time=config.idle_hold_time,
+                idle_hold_max=config.idle_hold_max,
+                graceful_restart=config.graceful_restart,
+                restart_time=config.restart_time,
                 description=config.description or config.peer_id,
             ),
             endpoint,
@@ -213,6 +234,11 @@ class BGPRouter:
     def _handle_update(self, peer: _Peer, update: UpdateMessage) -> None:
         if self.on_update_received is not None:
             self.on_update_received(peer.config.peer_id, update)
+        if update.is_end_of_rib:
+            # RFC 4724: the recovered peer finished re-advertising; any
+            # route it did not refresh is gone for real.
+            self._flush_stale_routes(peer)
+            return
         touched: Set[Prefix] = set()
         for path_id, prefix in update.withdrawn:
             if peer.adj_in.remove(prefix, path_id) is not None:
@@ -272,14 +298,54 @@ class BGPRouter:
 
     def _handle_established(self, peer: _Peer) -> None:
         self._full_export(peer)
+        if peer.session.gr_active:
+            # End-of-RIB: tells a gracefully-restarted peer it may flush
+            # whatever stale routes we did not just re-advertise.
+            peer.session.send_end_of_rib()
 
     def _handle_down(self, peer: _Peer, reason: str) -> None:
-        self._flush_peer_routes(peer)
+        if peer.session.last_down_graceful:
+            self._retain_peer_routes(peer)
+        else:
+            self._flush_peer_routes(peer)
 
     def _flush_peer_routes(self, peer: _Peer) -> None:
         dropped = peer.adj_in.clear()
+        # The peer lost our advertisements too: forget Adj-RIB-Out so the
+        # next full export is not suppressed as "already sent".
+        peer.adj_out.clear()
         peer.pending_announce.clear()
         peer.pending_withdraw.clear()
+        if peer.restart_deadline is not None:
+            peer.restart_deadline.stop()
+        for route in dropped:
+            self._reselect(route.prefix)
+
+    def _retain_peer_routes(self, peer: _Peer) -> None:
+        """RFC 4724 graceful restart: keep the peer's routes, stale-marked,
+        until it re-advertises, sends End-of-RIB, or the deadline passes."""
+        peer.graceful_downs += 1
+        peer.adj_in.mark_all_stale()
+        peer.adj_out.clear()
+        peer.pending_announce.clear()
+        peer.pending_withdraw.clear()
+        deadline = peer.session.peer_restart_time
+        if not deadline:
+            deadline = peer.session.config.restart_time
+        if peer.restart_deadline is None:
+            peer.restart_deadline = self.engine.timer(
+                deadline,
+                lambda: self._flush_stale_routes(peer),
+                label=f"gr-deadline:{peer.config.peer_id}",
+            )
+        peer.restart_deadline.start(deadline)
+
+    def _flush_stale_routes(self, peer: _Peer) -> None:
+        if peer.restart_deadline is not None:
+            peer.restart_deadline.stop()
+        dropped = peer.adj_in.flush_stale()
+        if dropped:
+            peer.stale_flushes += len(dropped)
         for route in dropped:
             self._reselect(route.prefix)
 

@@ -1,4 +1,15 @@
-"""PHAS-style prefix-hijack alerting over the measurement feed.
+"""Operational alerting: testbed event bus + PHAS-style hijack detection.
+
+:class:`EventBus` is the operator-facing event log.  Every fault and
+recovery — link cuts, mux crashes and restarts, session transitions,
+graceful-restart retention and flushes, client failovers — is emitted as
+a :class:`TestbedEvent` with the simulated timestamp.  The log is
+append-ordered and carries only deterministic data, so two same-seed
+chaos runs produce byte-identical logs (the reproducibility property the
+fault tests assert).
+
+The rest of the module is PHAS-style prefix-hijack alerting over the
+measurement feed.
 
 The paper motivates PEERING with BGP's lack of "mechanisms to prevent
 ... prefix hijacks [24, 32, 58]" (PHAS is [32]).  This module implements
@@ -20,14 +31,78 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..net.addr import Prefix
+from ..sim.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from .testbed import Testbed
 
-__all__ = ["AlertKind", "HijackAlert", "HijackDetector"]
+__all__ = [
+    "TestbedEvent",
+    "EventBus",
+    "AlertKind",
+    "HijackAlert",
+    "HijackDetector",
+]
+
+
+@dataclass(frozen=True)
+class TestbedEvent:
+    """One operational event: what happened, where, when."""
+
+    kind: str
+    time: float
+    source: str = ""
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+    def detail_dict(self) -> Dict[str, object]:
+        return dict(self.detail)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.detail)
+        return f"[{self.time:10.3f}] {self.kind:<22} {self.source} {extra}".rstrip()
+
+
+class EventBus:
+    """Ordered, deterministic log of operational events + subscriptions.
+
+    Subscribers run synchronously at emit time (in subscription order),
+    which lets recovery logic — e.g. a client failing over when its mux
+    crashes — ride the same deterministic schedule as the faults.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.events: List[TestbedEvent] = []
+        self._subscribers: List[Callable[[TestbedEvent], None]] = []
+
+    def emit(self, kind: str, source: str = "", **detail) -> TestbedEvent:
+        event = TestbedEvent(
+            kind=kind,
+            time=self.engine.now,
+            source=source,
+            detail=tuple(sorted(detail.items())),
+        )
+        self.events.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TestbedEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def of_kind(self, *kinds: str) -> List[TestbedEvent]:
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def log(self) -> List[Tuple[float, str, str, Tuple[Tuple[str, object], ...]]]:
+        """The canonical, comparison-friendly form of the whole log."""
+        return [(e.time, e.kind, e.source, e.detail) for e in self.events]
+
+    def __len__(self) -> int:
+        return len(self.events)
 
 
 class AlertKind(Enum):

@@ -32,6 +32,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..bgp.attributes import ASPath, Origin, PathAttributes
+from ..bgp.errors import BGPError
 from ..bgp.messages import UpdateMessage
 from ..bgp.session import BGPSession, SessionConfig
 from ..net.addr import IPAddress, Prefix
@@ -131,6 +132,9 @@ class PeeringServer:
         self._clients: Dict[str, _ClientAttachment] = {}
         self._next_tunnel_host = 1
         self.updates_relayed = 0
+        self.alive = True
+        self.crash_count = 0
+        self._reprovision_seq = 0
 
     # -- interdomain attachment --------------------------------------------------
 
@@ -196,6 +200,8 @@ class PeeringServer:
         mode: MuxMode = MuxMode.QUAGGA,
         client_asn: int = 64512,
         peer_asns: Optional[Iterable[int]] = None,
+        graceful_restart: bool = False,
+        restart_time: int = 60,
     ) -> Tuple[TunnelEndpoint, Dict[int, Endpoint]]:
         """Attach a client: build the OpenVPN-style tunnel and the BGP
         session endpoints the client should drive.
@@ -203,6 +209,8 @@ class PeeringServer:
         Returns ``(client_tunnel_endpoint, {peer_asn: channel_endpoint})``;
         in BIRD mode the dict has a single entry keyed by 0.
         """
+        if not self.alive:
+            raise ValueError(f"mux {self.site.name!r} is down")
         if client_id in self._clients:
             raise ValueError(f"client {client_id!r} already attached")
         local_addr = self._tunnel_address()
@@ -233,11 +241,14 @@ class PeeringServer:
                         peer_asn=client_asn,
                         local_id=self.address,
                         passive=True,
+                        graceful_restart=graceful_restart,
+                        restart_time=restart_time,
                         description=f"{self.site.name}/{client_id}/AS{peer_asn}",
                     ),
                     pair.a,
                 )
                 session.on_update = self._update_handler(attachment, peer_asn)
+                self._arm_end_of_rib(session)
                 attachment.sessions[peer_asn] = session
                 endpoints[peer_asn] = pair.b
         else:
@@ -250,16 +261,31 @@ class PeeringServer:
                     local_id=self.address,
                     passive=True,
                     add_path=True,
+                    graceful_restart=graceful_restart,
+                    restart_time=restart_time,
                     description=f"{self.site.name}/{client_id}/bird",
                 ),
                 pair.a,
             )
             session.on_update = self._update_handler(attachment, None)
+            self._arm_end_of_rib(session)
             attachment.bird_session = session
             for peer_asn in sorted(selected):
                 attachment.path_id_for(peer_asn)
             endpoints[0] = pair.b
         return remote, endpoints
+
+    @staticmethod
+    def _arm_end_of_rib(session: BGPSession) -> None:
+        """After (re-)establishing with graceful restart, tell the client
+        we are done re-advertising (the mux relays on demand, so "done" is
+        immediate) — letting it flush stale-retained routes promptly."""
+
+        def established(s: BGPSession) -> None:
+            if s.gr_active:
+                s.send_end_of_rib()
+
+        session.on_established = established
 
     def disconnect_client(self, client_id: str) -> None:
         attachment = self._clients.pop(client_id, None)
@@ -272,6 +298,84 @@ class PeeringServer:
         attachment.tunnel.take_down()
         for prefix in list(attachment.announcements):
             self.testbed.retract(self, client_id, prefix)
+
+    # -- crash / restart ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """The mux process dies abruptly: sessions drop without CEASE,
+        tunnels go down, and the site's announcements leave the Internet.
+
+        Client-side attachment state is retained so :meth:`restart` (and
+        reconnecting clients) can re-provision without re-registration —
+        mirroring a machine reboot rather than a decommission.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crash_count += 1
+        for attachment in self._clients.values():
+            for session in attachment.sessions.values():
+                if session.endpoint is not None:
+                    session.endpoint.close()
+            bird = attachment.bird_session
+            if bird is not None and bird.endpoint is not None:
+                bird.endpoint.close()
+            attachment.tunnel.take_down()
+            for prefix in list(attachment.announcements):
+                # Registry only: the attachment keeps its announcement spec
+                # so the restarted mux can re-announce it.
+                self.testbed.retract(self, attachment.client_id, prefix)
+        self.testbed.events.emit(
+            "mux-crash", source=self.site.name, clients=len(self._clients)
+        )
+
+    def restart(self) -> None:
+        """The mux comes back: tunnels up, announcements re-propagated.
+
+        BGP sessions are *not* resurrected here — each client re-establishes
+        through its own backoff schedule via :meth:`reconnect_endpoint`,
+        like real speakers reconnecting to a rebooted router."""
+        if self.alive:
+            return
+        self.alive = True
+        for attachment in self._clients.values():
+            attachment.tunnel.bring_up()
+            for prefix, spec in attachment.announcements.items():
+                self.testbed.announce(self, attachment.client_id, prefix, spec)
+        self.testbed.events.emit(
+            "mux-restart", source=self.site.name, clients=len(self._clients)
+        )
+
+    def reconnect_endpoint(self, client_id: str, key: int) -> Optional[Endpoint]:
+        """Re-provision one client session over a fresh channel.
+
+        ``key`` is the peer ASN (QUAGGA mode) or 0 (BIRD mode) — the same
+        keys :meth:`connect_client` returned.  Returns the client's end of
+        the new channel, or ``None`` while the mux is down (the client
+        keeps backing off and retries later)."""
+        if not self.alive:
+            return None
+        attachment = self._clients.get(client_id)
+        if attachment is None:
+            return None
+        session = attachment.bird_session if key == 0 else attachment.sessions.get(key)
+        if session is None:
+            return None
+        if session.endpoint is not None and session.endpoint.connected:
+            # Existing channel still healthy; nothing to re-provision.
+            return None
+        self._reprovision_seq += 1
+        pair = ChannelPair(
+            f"{self.site.name}:{client_id}:{key}#r{self._reprovision_seq}"
+        )
+        try:
+            session.rebind(pair.a)
+        except BGPError:
+            return None
+        self.testbed.events.emit(
+            "session-reprovisioned", source=self.site.name, client=client_id, key=key
+        )
+        return pair.b
 
     def client_session_count(self, client_id: Optional[str] = None) -> int:
         if client_id is not None:

@@ -26,6 +26,7 @@ from ..inet.topology import ASGraph, ASKind, ASNode
 from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
 from ..sim.engine import Engine
+from .alerts import EventBus
 from .allocation import PrefixPool
 from .experiment import AdvisoryBoard, Experiment, ExperimentError, ExperimentStatus
 from .server import AnnouncementSpec, MuxMode, PeeringServer, SiteConfig, SiteKind
@@ -56,6 +57,7 @@ class Testbed:
         self.pool = PrefixPool([supernet])
         self.dataplane = DataPlane(self.graph)
         self.dataplane.prepare = self._flush_dirty
+        self.events = EventBus(self.engine)
         self.board = AdvisoryBoard()
         self.tunnel_rate_limit = tunnel_rate_limit
         self.servers: Dict[str, PeeringServer] = {}

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the testbed.
+
+The production PEERING testbed lives with real-world failures: flapping
+transit links, mux machines rebooting, partitioned sites.  This package
+reproduces those conditions on the simulated testbed, deterministically —
+every random decision draws from a named stream of the engine's seeded
+RNG (:meth:`repro.sim.engine.Engine.rng`), so a chaos run replays exactly
+and regressions bisect cleanly.
+
+Three layers:
+
+* :class:`FaultInjector` — interposes on a channel pair's ``transit``
+  hook to drop, delay, duplicate, or corrupt individual messages.
+* :class:`Link` — owns the transport between two sessions so it can be
+  severed and re-provisioned (a fresh channel generation per cut), with
+  an injector re-attached to every generation.
+* :class:`FaultPlan` — a scripted, seeded schedule of faults (link flaps,
+  mux crash/restart, network partitions) driven by the event engine.
+"""
+
+from .injector import FaultConfig, FaultInjector, FaultStats
+from .link import Link
+from .plan import FaultPlan
+
+__all__ = ["FaultConfig", "FaultInjector", "FaultStats", "Link", "FaultPlan"]

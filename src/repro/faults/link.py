@@ -1,0 +1,118 @@
+"""A severable link between two BGP sessions.
+
+The plain :func:`repro.bgp.session.connect` wires two sessions over one
+:class:`~repro.net.channel.ChannelPair` forever.  A :class:`Link` instead
+owns the transport: it hands out channel *generations* through each
+session's ``transport_factory``, so after :meth:`sever` both sides lose
+their transport, back off, and transparently re-establish over a fresh
+pair.  :meth:`cut` additionally marks the link down — factories return
+``None`` (counting ConnectRetry failures at the sessions) until
+:meth:`restore`.
+
+An optional :class:`~repro.faults.injector.FaultConfig` applies message-
+level faults to every generation through a single injector (one RNG
+stream across generations, keeping runs seed-deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..bgp.session import _IN_SESSION, BGPSession
+from ..net.channel import ChannelPair, Endpoint
+from ..sim.engine import Engine
+from .injector import FaultConfig, FaultInjector
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Owns the (re-provisionable) transport between two sessions."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        left: BGPSession,
+        right: BGPSession,
+        name: str = "link",
+        fault_config: Optional[FaultConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.left = left
+        self.right = right
+        self.name = name
+        self.up = True
+        self.generation = 0
+        self.cuts = 0
+        self._pair: Optional[ChannelPair] = None
+        self.injector: Optional[FaultInjector] = None
+        if fault_config is not None:
+            self.injector = FaultInjector(engine, fault_config, label=f"link:{name}")
+        self.on_event: Optional[Callable[[str, dict], None]] = None
+        left.transport_factory = lambda: self._claim(left)
+        right.transport_factory = lambda: self._claim(right)
+
+    # -- wiring --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start both sessions over a fresh generation (honors passive)."""
+        if not self.left.config.passive:
+            self.left.start()
+        if not self.right.config.passive:
+            self.right.start()
+
+    def _claim(self, session: BGPSession) -> Optional[Endpoint]:
+        """Hand ``session`` its end of the current channel generation.
+
+        Creates a new generation when none is alive, and binds the *other*
+        session to its end immediately, so whichever side reconnects first
+        finds a listening peer instead of writing into the void.
+        """
+        if not self.up:
+            return None
+        if self._pair is None or self._pair.closed:
+            self.generation += 1
+            self._pair = ChannelPair(f"{self.name}#{self.generation}")
+            if self.injector is not None:
+                self.injector.attach(self._pair)
+            self._emit("link-provisioned", generation=self.generation)
+        own, other, other_end = (
+            (self._pair.a, self.right, self._pair.b)
+            if session is self.left
+            else (self._pair.b, self.left, self._pair.a)
+        )
+        if other.endpoint is not other_end and other.fsm.state not in _IN_SESSION:
+            other.rebind(other_end)
+        return own
+
+    # -- faults --------------------------------------------------------------
+
+    def sever(self) -> None:
+        """Cut the wire.  Both sessions observe transport loss; with
+        ``auto_reconnect`` they re-establish over the next generation."""
+        self.cuts += 1
+        self._emit("link-severed", generation=self.generation)
+        if self._pair is not None and not self._pair.closed:
+            self._pair.sever()
+
+    def cut(self) -> None:
+        """Take the link down: sever it and refuse new transports."""
+        self.up = False
+        self._emit("link-down", generation=self.generation)
+        if self._pair is not None and not self._pair.closed:
+            self._pair.sever()
+
+    def restore(self) -> None:
+        """Bring the link back; reconnecting sessions get transports again."""
+        if self.up:
+            return
+        self.up = True
+        self._emit("link-restored", generation=self.generation)
+
+    @property
+    def established(self) -> bool:
+        return self.left.established and self.right.established
+
+    def _emit(self, kind: str, **detail) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, dict(detail, link=self.name))

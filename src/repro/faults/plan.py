@@ -1,0 +1,126 @@
+"""Scripted fault scenarios on the event engine.
+
+A :class:`FaultPlan` schedules faults at simulated times and records what
+it did (and when) in a deterministic log.  The scenarios mirror the ones
+testbed operators actually see:
+
+* :meth:`flap_link` — a link goes down and comes back, N times;
+* :meth:`sever_link` — a one-off transport cut (sessions reconnect
+  immediately over a fresh channel);
+* :meth:`partition` — several links down together, healing together;
+* :meth:`crash_mux` / :meth:`restart_mux` — a PEERING server process
+  dies and (optionally) comes back.
+
+Everything is driven through :class:`~repro.sim.engine.Engine`, so a plan
+plus a seed reproduces the identical event sequence run after run — the
+property the chaos tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from ..sim.engine import Engine
+from .link import Link
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.server import PeeringServer
+
+__all__ = ["FaultPlan"]
+
+
+class FaultPlan:
+    """A deterministic schedule of faults against links and muxes."""
+
+    def __init__(self, engine: Engine, name: str = "plan") -> None:
+        self.engine = engine
+        self.name = name
+        # (time, action, target) — appended when each fault *fires*.
+        self.log: List[Tuple[float, str, str]] = []
+
+    def _fire(self, action: str, target: str, thunk) -> None:
+        self.log.append((self.engine.now, action, target))
+        thunk()
+
+    def _at(self, time: float, action: str, target: str, thunk) -> None:
+        self.engine.schedule_at(
+            time,
+            lambda: self._fire(action, target, thunk),
+            label=f"fault-plan:{self.name}:{action}",
+        )
+
+    # -- link scenarios ------------------------------------------------------
+
+    def sever_link(self, link: Link, at: float) -> "FaultPlan":
+        """Cut the wire once; sessions reconnect as soon as they retry."""
+        self._at(at, "sever", link.name, link.sever)
+        return self
+
+    def flap_link(
+        self,
+        link: Link,
+        at: float,
+        down_for: float = 5.0,
+        times: int = 1,
+        spacing: float = 60.0,
+    ) -> "FaultPlan":
+        """Take the link down for ``down_for`` seconds, ``times`` times,
+        successive flaps starting ``spacing`` seconds apart."""
+        if down_for >= spacing and times > 1:
+            raise ValueError("flaps would overlap: need down_for < spacing")
+        for i in range(times):
+            start = at + i * spacing
+            self._at(start, "cut", link.name, link.cut)
+            self._at(start + down_for, "restore", link.name, link.restore)
+        return self
+
+    def partition(
+        self, links: Iterable[Link], at: float, heal_after: float
+    ) -> "FaultPlan":
+        """Down a set of links together; heal them all ``heal_after``
+        seconds later (a site losing its network, then regaining it)."""
+        links = list(links)
+        for link in links:
+            self._at(at, "cut", link.name, link.cut)
+            self._at(at + heal_after, "restore", link.name, link.restore)
+        return self
+
+    def bounce_session(
+        self,
+        session,
+        at: float,
+        times: int = 1,
+        spacing: float = 30.0,
+    ) -> "FaultPlan":
+        """Drop a session's transport (no CEASE), ``times`` times.
+
+        Works on any :class:`~repro.bgp.session.BGPSession` regardless of
+        who owns its transport — testbed mux sessions included — because
+        it closes whatever endpoint the session currently holds."""
+
+        def sever() -> None:
+            if session.endpoint is not None and not session.endpoint.closed:
+                session.endpoint.close()
+
+        for i in range(times):
+            self._at(at + i * spacing, "bounce", session.config.description, sever)
+        return self
+
+    # -- mux scenarios -------------------------------------------------------
+
+    def crash_mux(
+        self,
+        server: "PeeringServer",
+        at: float,
+        down_for: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Kill a mux at ``at``; if ``down_for`` is given, restart it that
+        many seconds later."""
+        self._at(at, "crash", server.site.name, server.crash)
+        if down_for is not None:
+            self._at(at + down_for, "restart", server.site.name, server.restart)
+        return self
+
+    def restart_mux(self, server: "PeeringServer", at: float) -> "FaultPlan":
+        self._at(at, "restart", server.site.name, server.restart)
+        return self

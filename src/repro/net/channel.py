@@ -4,12 +4,20 @@ The BGP code is written against a tiny transport interface (``send`` /
 ``receive`` / ``close``) so the same session logic works over any conduit.
 :class:`ChannelPair` provides the default: two connected FIFO endpoints with
 optional propagation delay when driven by the discrete-event engine.
+
+Two hooks exist for the fault-injection subsystem (:mod:`repro.faults`):
+
+* ``Endpoint.transit`` — interposes on every ``send``; it receives the
+  payload and a ``forward`` continuation, and may drop, mutate, duplicate,
+  or defer the delivery (e.g. via the event engine).
+* ``Endpoint.close`` — severing a channel notifies both ends, which is how
+  sessions observe transport loss.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, Deque, List, Optional, Tuple
 
 __all__ = ["ChannelClosed", "Endpoint", "ChannelPair"]
 
@@ -18,27 +26,35 @@ class ChannelClosed(Exception):
     """Raised when sending on (or draining) a closed channel."""
 
 
-# Run-to-completion dispatch: a message sent from inside a receive handler
-# is queued and delivered only after the current handler returns, exactly
-# like an event loop would.  Without this, two BGP speakers answering each
-# other re-enter their handlers mid-transition.
-_dispatch_queue: Deque = deque()
-_dispatching = False
+class _DispatchContext:
+    """Run-to-completion dispatch state, scoped to one connected pair.
 
+    A message sent from inside a receive handler is queued and delivered
+    only after the current handler returns, exactly like an event loop
+    would.  Without this, two BGP speakers answering each other re-enter
+    their handlers mid-transition.  The state is per-pair (not module
+    global) so one pair's nested sends can never reorder an unrelated
+    pair's traffic.
+    """
 
-def _dispatch(target: "Endpoint", data: bytes) -> None:
-    global _dispatching
-    _dispatch_queue.append((target, data))
-    if _dispatching:
-        return
-    _dispatching = True
-    try:
-        while _dispatch_queue:
-            endpoint, message = _dispatch_queue.popleft()
-            if not endpoint.closed:
-                endpoint._deliver(message)
-    finally:
-        _dispatching = False
+    __slots__ = ("queue", "dispatching")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Tuple["Endpoint", bytes]] = deque()
+        self.dispatching = False
+
+    def dispatch(self, target: "Endpoint", data: bytes) -> None:
+        self.queue.append((target, data))
+        if self.dispatching:
+            return
+        self.dispatching = True
+        try:
+            while self.queue:
+                endpoint, message = self.queue.popleft()
+                if not endpoint.closed:
+                    endpoint._deliver(message)
+        finally:
+            self.dispatching = False
 
 
 class Endpoint:
@@ -53,16 +69,23 @@ class Endpoint:
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._peer: Optional["Endpoint"] = None
+        self._ctx = _DispatchContext()
         self._queue: Deque[bytes] = deque()
         self.closed = False
         self.on_receive: Optional[Callable[[bytes], None]] = None
         self.on_close: Optional[Callable[[], None]] = None
+        # Fault-injection interposer: transit(data, forward) decides when
+        # (and whether, and in what shape) forward(payload) runs.
+        self.transit: Optional[Callable[[bytes, Callable[[bytes], None]], None]] = None
         self.sent_count = 0
         self.received_count = 0
 
     def connect(self, peer: "Endpoint") -> None:
         self._peer = peer
         peer._peer = self
+        # Both ends share one dispatch context so answers queued from
+        # inside a handler preserve FIFO order across the pair.
+        peer._ctx = self._ctx
 
     @property
     def connected(self) -> bool:
@@ -77,7 +100,27 @@ class Endpoint:
         if self._peer.closed:
             raise ChannelClosed(f"peer of {self.name!r} is closed")
         self.sent_count += 1
-        _dispatch(self._peer, data)
+        peer = self._peer
+        ctx = self._ctx
+
+        def forward(payload: bytes) -> None:
+            # A deferred delivery may arrive after the channel was severed.
+            if not peer.closed:
+                ctx.dispatch(peer, payload)
+
+        if self.transit is not None:
+            self.transit(data, forward)
+        else:
+            forward(data)
+
+    def redeliver(self, data: bytes) -> None:
+        """Feed ``data`` back into this endpoint through the pair's
+        run-to-completion context.
+
+        Used when replaying drained backlog: a handler that answers
+        mid-replay must have its reply queued behind the replayed message,
+        exactly as if the message had just arrived off the wire."""
+        self._ctx.dispatch(self, data)
 
     def _deliver(self, data: bytes) -> None:
         self.received_count += 1
@@ -121,6 +164,14 @@ class ChannelPair:
         self.a = Endpoint(f"{name}.a")
         self.b = Endpoint(f"{name}.b")
         self.a.connect(self.b)
+
+    @property
+    def closed(self) -> bool:
+        return self.a.closed or self.b.closed
+
+    def sever(self) -> None:
+        """Cut the link (both directions), as a fault would."""
+        self.a.close()
 
     def __iter__(self):
         return iter((self.a, self.b))

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["SimulationError", "Event", "Timer", "Engine"]
 
@@ -76,12 +77,28 @@ class Timer:
 class Engine:
     """The event loop.  ``schedule`` relative, ``schedule_at`` absolute."""
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int = 0) -> None:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self.now = 0.0
         self.processed = 0
         self._running = False
+        self.seed = seed
+        self._rngs: Dict[str, random.Random] = {}
+
+    def rng(self, label: str = "") -> random.Random:
+        """A named random stream, seeded from ``(engine seed, label)``.
+
+        Every consumer of randomness (fault injection, reconnect jitter)
+        draws from its own labelled stream, so adding one consumer does
+        not perturb another's sequence and a seeded run replays exactly.
+        String seeding is hash-stable across processes.
+        """
+        stream = self._rngs.get(label)
+        if stream is None:
+            stream = random.Random(f"{self.seed}\x00{label}")
+            self._rngs[label] = stream
+        return stream
 
     def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` to run ``delay`` simulated seconds from now."""

@@ -104,3 +104,71 @@ def test_can_fire():
     assert fsm.can_fire(FsmEvent.MANUAL_START)
     assert fsm.can_fire(FsmEvent.MANUAL_STOP)  # reset events always legal
     assert not fsm.can_fire(FsmEvent.OPEN_RECEIVED)
+
+
+def test_automatic_start_mirrors_manual_start():
+    fsm = BGPStateMachine()
+    fsm.fire(FsmEvent.AUTOMATIC_START)
+    assert fsm.state == State.CONNECT
+    fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+    fsm.fire(FsmEvent.OPEN_RECEIVED)
+    fsm.fire(FsmEvent.KEEPALIVE_RECEIVED)
+    assert fsm.established
+
+
+def test_automatic_start_illegal_once_started():
+    fsm = BGPStateMachine()
+    fsm.fire(FsmEvent.MANUAL_START)
+    with pytest.raises(FsmError):
+        fsm.fire(FsmEvent.AUTOMATIC_START)
+
+
+@pytest.mark.parametrize(
+    "setup, expected",
+    [
+        ([FsmEvent.MANUAL_START], State.ACTIVE),
+        ([FsmEvent.MANUAL_START, FsmEvent.TRANSPORT_CONNECTED], State.ACTIVE),
+        (
+            [
+                FsmEvent.MANUAL_START,
+                FsmEvent.TRANSPORT_CONNECTED,
+                FsmEvent.OPEN_RECEIVED,
+            ],
+            State.IDLE,
+        ),
+        (
+            [
+                FsmEvent.MANUAL_START,
+                FsmEvent.TRANSPORT_CONNECTED,
+                FsmEvent.OPEN_RECEIVED,
+                FsmEvent.KEEPALIVE_RECEIVED,
+            ],
+            State.IDLE,
+        ),
+    ],
+)
+def test_transport_failed_from_every_connected_state(setup, expected):
+    # Before the OPEN exchange completes we fall back to ACTIVE and keep
+    # listening; once in session, losing the transport is a full reset.
+    fsm = BGPStateMachine()
+    for event in setup:
+        fsm.fire(event)
+    fsm.fire(FsmEvent.TRANSPORT_FAILED)
+    assert fsm.state == expected
+
+
+def test_transport_failed_illegal_in_idle():
+    fsm = BGPStateMachine()
+    with pytest.raises(FsmError):
+        fsm.fire(FsmEvent.TRANSPORT_FAILED)
+
+
+def test_illegal_event_leaves_state_unchanged():
+    fsm = BGPStateMachine()
+    fsm.fire(FsmEvent.MANUAL_START)
+    fsm.fire(FsmEvent.TRANSPORT_CONNECTED)
+    history_len = len(fsm.history)
+    with pytest.raises(FsmError):
+        fsm.fire(FsmEvent.KEEPALIVE_RECEIVED)  # KEEPALIVE before OPEN
+    assert fsm.state == State.OPEN_SENT
+    assert len(fsm.history) == history_len

@@ -1,0 +1,146 @@
+"""Fuzzing the wire-format decoder.
+
+The robustness contract of :func:`repro.bgp.messages.decode` is that
+malformed input — truncated, bit-flipped, or outright random — always
+surfaces as :class:`BGPError` (so a session can send the right
+NOTIFICATION), never as ``struct.error`` / ``IndexError`` / any other
+implementation leak that would crash the speaker."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bgp.attributes import ASPath, Origin, PathAttributes
+from repro.bgp.errors import BGPError
+from repro.bgp.messages import (
+    Capability,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    RouteRefreshMessage,
+    UpdateMessage,
+    decode,
+)
+from repro.net.addr import IPAddress, Prefix
+
+FUZZ_SETTINGS = settings(
+    max_examples=300, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _attrs(asns=(47065, 3356)):
+    return PathAttributes(
+        origin=Origin.IGP,
+        as_path=ASPath.from_asns(list(asns)),
+        next_hop=IPAddress("10.0.0.1"),
+        med=50,
+        local_pref=120,
+    )
+
+
+def _corpus():
+    """One valid encoding of every message type (plain and ADD-PATH)."""
+    open_msg = OpenMessage(
+        asn=47065,
+        hold_time=90,
+        bgp_id=IPAddress("10.0.0.1"),
+        capabilities=(
+            Capability.four_octet_as(47065),
+            Capability.add_path(),
+            Capability.graceful_restart(120),
+        ),
+    )
+    prefixes = [Prefix("184.164.224.0/24"), Prefix("184.164.225.0/24")]
+    return [
+        open_msg.encode(),
+        UpdateMessage.announce(prefixes, _attrs()).encode(),
+        UpdateMessage.announce(prefixes, _attrs(), path_ids=[1, 2]).encode(),
+        UpdateMessage.withdraw(prefixes).encode(),
+        UpdateMessage.end_of_rib().encode(),
+        NotificationMessage(6, 2, b"shutting down").encode(),
+        KeepaliveMessage().encode(),
+        RouteRefreshMessage().encode(),
+    ]
+
+
+CORPUS = _corpus()
+
+
+def _decode_or_bgperror(data: bytes, add_path: bool) -> None:
+    try:
+        decode(data, add_path=add_path)
+    except BGPError:
+        pass  # the only acceptable failure mode
+
+
+@FUZZ_SETTINGS
+@given(
+    msg=st.sampled_from(CORPUS),
+    cut=st.integers(min_value=0, max_value=200),
+    add_path=st.booleans(),
+)
+def test_truncation_always_raises_bgperror(msg, cut, add_path):
+    truncated = msg[: max(0, len(msg) - 1 - cut % len(msg))]
+    try:
+        decode(truncated, add_path=add_path)
+    except BGPError:
+        return
+    raise AssertionError("truncated message decoded without error")
+
+
+@FUZZ_SETTINGS
+@given(
+    msg=st.sampled_from(CORPUS),
+    bit=st.integers(min_value=0),
+    add_path=st.booleans(),
+)
+def test_bit_flip_never_crashes(msg, bit, add_path):
+    index = bit % (len(msg) * 8)
+    flipped = bytearray(msg)
+    flipped[index // 8] ^= 1 << (index % 8)
+    _decode_or_bgperror(bytes(flipped), add_path)
+
+
+@FUZZ_SETTINGS
+@given(
+    msg=st.sampled_from(CORPUS),
+    bits=st.lists(st.integers(min_value=0), min_size=1, max_size=16),
+    add_path=st.booleans(),
+)
+def test_multi_bit_flips_never_crash(msg, bits, add_path):
+    flipped = bytearray(msg)
+    for bit in bits:
+        index = bit % (len(msg) * 8)
+        flipped[index // 8] ^= 1 << (index % 8)
+    _decode_or_bgperror(bytes(flipped), add_path)
+
+
+@FUZZ_SETTINGS
+@given(data=st.binary(max_size=128), add_path=st.booleans())
+def test_random_bytes_never_crash(data, add_path):
+    _decode_or_bgperror(data, add_path)
+
+
+@FUZZ_SETTINGS
+@given(
+    msg=st.sampled_from(CORPUS),
+    extra=st.binary(min_size=1, max_size=64),
+    add_path=st.booleans(),
+)
+def test_trailing_garbage_raises_bgperror(msg, extra, add_path):
+    # The header length must match the datagram exactly; anything else is
+    # a framing error, not a silent success.
+    try:
+        decode(msg + extra, add_path=add_path)
+    except BGPError:
+        return
+    raise AssertionError("oversized message decoded without error")
+
+
+def test_corpus_is_actually_valid():
+    # UPDATEs only decode under the ADD-PATH mode they were encoded for
+    # (the capability is session-negotiated, not self-describing); every
+    # message decodes in its own mode, and the mismatched mode may only
+    # fail with BGPError.
+    for i, msg in enumerate(CORPUS):
+        add_path = i == 2  # the path_ids variant
+        decode(msg, add_path=add_path)
+        _decode_or_bgperror(msg, not add_path)

@@ -1,0 +1,345 @@
+"""Session self-healing: reconnect backoff, hold_time=0, stop semantics,
+graceful-restart negotiation and RIB retention."""
+
+import pytest
+
+from repro.net.addr import IPAddress, Prefix
+from repro.net.channel import ChannelPair
+from repro.sim import Engine
+from repro.bgp.errors import BGPError
+from repro.bgp.fsm import State
+from repro.bgp.router import BGPRouter, PeerConfig
+from repro.bgp.session import BGPSession, SessionConfig, connect
+from repro.faults import Link
+
+
+def make_session(engine, description, passive=False, **kwargs):
+    local, peer = (47065, 3356) if not passive else (3356, 47065)
+    return BGPSession(
+        engine,
+        SessionConfig(
+            local_asn=local,
+            peer_asn=peer,
+            local_id=IPAddress("10.0.0.1" if not passive else "10.0.0.2"),
+            passive=passive,
+            description=description,
+            **kwargs,
+        ),
+    )
+
+
+def make_link(engine, name="link", **kwargs):
+    left = make_session(engine, f"{name}-L", auto_reconnect=True, **kwargs)
+    right = make_session(
+        engine, f"{name}-R", passive=True, auto_reconnect=True, **kwargs
+    )
+    link = Link(engine, left, right, name=name)
+    link.start()
+    return link, left, right
+
+
+class TestAutoReconnect:
+    def test_reestablishes_after_transport_loss(self):
+        engine = Engine(seed=1)
+        link, left, right = make_link(engine, idle_hold_time=2.0)
+        assert left.established and right.established
+        link.sever()
+        assert not left.established and not right.established
+        engine.run_for(10)
+        assert left.established and right.established
+        assert left.established_count == 2
+
+    def test_no_reconnect_without_flag(self):
+        engine = Engine(seed=1)
+        pair = ChannelPair("static")
+        left = make_session(engine, "L")
+        right = make_session(engine, "R", passive=True)
+        left.rebind(pair.a)
+        right.rebind(pair.b)
+        connect(engine, left, right)
+        assert left.established
+        pair.sever()
+        engine.run_for(600)
+        assert not left.established
+        assert left.reconnect_attempts == 0
+
+    def test_backoff_is_exponential_with_jitter(self):
+        engine = Engine(seed=5)
+        left = make_session(engine, "lonely", auto_reconnect=True, idle_hold_time=4.0)
+        left.transport_factory = lambda: None  # transport never comes back
+        left.start()
+        engine.run_for(400)
+        delays = [d for _, d in left.reconnect_log]
+        assert len(delays) >= 5
+        for level, delay in enumerate(delays[:5]):
+            base = 4.0 * (2**level)
+            assert 0.75 * base <= delay <= base
+        # Jitter actually engaged: delays are not exactly the base values.
+        assert any(d != 4.0 * (2**i) for i, d in enumerate(delays[:5]))
+        assert left.connect_retry_count >= 5
+        assert left.reconnect_attempts >= 5
+
+    def test_backoff_capped_at_idle_hold_max(self):
+        engine = Engine(seed=5)
+        left = make_session(
+            engine, "capped", auto_reconnect=True, idle_hold_time=4.0, idle_hold_max=10.0
+        )
+        left.transport_factory = lambda: None
+        left.start()
+        engine.run_for(300)
+        assert all(d <= 10.0 for _, d in left.reconnect_log)
+
+    def test_backoff_resets_after_recovery(self):
+        engine = Engine(seed=9)
+        link, left, right = make_link(engine, idle_hold_time=2.0)
+        link.cut()
+        engine.run_for(30)  # several failed attempts climb the ladder
+        assert left.backoff_level >= 2
+        link.restore()
+        engine.run_for(60)
+        assert left.established
+        assert left.backoff_level == 0
+        # Next outage starts from the bottom of the ladder again.
+        link.sever()
+        engine.run_for(10)
+        assert left.established
+        first_delay_after_recovery = left.reconnect_log[-1][1]
+        assert first_delay_after_recovery <= 2.0
+
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            engine = Engine(seed=seed)
+            link, left, _right = make_link(engine, idle_hold_time=2.0)
+            link.cut()
+            engine.run_for(120)
+            return [(round(t, 9), round(d, 9)) for t, d in left.reconnect_log]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_peer_initiated_recovery_cancels_own_attempt(self):
+        engine = Engine(seed=2)
+        link, left, right = make_link(engine, idle_hold_time=2.0)
+        link.sever()
+        # Both sides race to reconnect; whoever fires first re-provisions
+        # the pair and the other side's OPEN implicit-starts it.
+        engine.run_for(30)
+        assert left.established and right.established
+        # No lingering duplicate establishment afterwards.
+        count = left.established_count
+        engine.run_for(120)
+        assert left.established_count == count
+
+
+class TestHoldTimeZero:
+    def test_no_keepalives_or_hold_timer(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("hz")
+        left = make_session(engine, "L", hold_time=0)
+        right = make_session(engine, "R", passive=True, hold_time=0)
+        left.rebind(pair.a)
+        right.rebind(pair.b)
+        connect(engine, left, right)
+        assert left.established and right.established
+        assert left.negotiated_hold_time == 0
+        # RFC 4271: hold time 0 means no keepalives and no hold timer —
+        # the session stays up forever without any periodic traffic.
+        sent_before = pair.a.sent_count
+        engine.run_for(3600)
+        assert left.established and right.established
+        assert pair.a.sent_count == sent_before
+
+    def test_update_does_not_arm_keepalive(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("hz2")
+        left = make_session(engine, "L", hold_time=0)
+        right = make_session(engine, "R", passive=True, hold_time=0)
+        left.rebind(pair.a)
+        right.rebind(pair.b)
+        connect(engine, left, right)
+        from repro.bgp.attributes import ASPath, Origin, PathAttributes
+
+        left.announce(
+            [Prefix("184.164.224.0/24")],
+            PathAttributes(
+                origin=Origin.IGP,
+                as_path=ASPath.from_asns([47065]),
+                next_hop=IPAddress("10.0.0.1"),
+            ),
+        )
+        assert not left._keepalive_timer.running
+        engine.run_for(3600)
+        assert left.established
+
+    def test_zero_on_one_side_negotiates_to_zero(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("hz3")
+        left = make_session(engine, "L", hold_time=0)
+        right = make_session(engine, "R", passive=True, hold_time=90)
+        left.rebind(pair.a)
+        right.rebind(pair.b)
+        connect(engine, left, right)
+        assert left.negotiated_hold_time == 0
+        assert right.negotiated_hold_time == 0
+
+
+class TestStopSemantics:
+    def test_stop_closes_endpoint(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("stop")
+        left = make_session(engine, "L")
+        right = make_session(engine, "R", passive=True)
+        left.rebind(pair.a)
+        right.rebind(pair.b)
+        connect(engine, left, right)
+        left.stop()
+        assert pair.a.closed and pair.b.closed
+        assert not left.established and not right.established
+        # Peer saw the CEASE, not a bare transport loss.
+        assert "CEASE" in (right.last_error or "")
+
+    def test_stop_cancels_pending_reconnect(self):
+        engine = Engine(seed=3)
+        link, left, right = make_link(engine, idle_hold_time=2.0)
+        link.cut()
+        assert left._idle_hold_timer.running
+        left.stop()
+        link.restore()
+        engine.run_for(600)
+        assert not left.established
+        assert left.reconnect_attempts == 0
+
+    def test_stop_while_idle_closes_transport(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("idlestop")
+        left = make_session(engine, "L")
+        left.rebind(pair.a)
+        left.stop()
+        assert pair.a.closed
+
+
+class TestGracefulRestartNegotiation:
+    def _routers(self, engine, gr=(True, True), restart_time=30):
+        r1 = BGPRouter(engine, asn=100, router_id=IPAddress("1.1.1.1"))
+        r2 = BGPRouter(engine, asn=200, router_id=IPAddress("2.2.2.2"))
+        s1 = r1.add_peer(
+            PeerConfig(
+                peer_id="r2",
+                remote_asn=200,
+                local_address=IPAddress("9.0.0.1"),
+                auto_reconnect=True,
+                idle_hold_time=2.0,
+                graceful_restart=gr[0],
+                restart_time=restart_time,
+            ),
+            None,
+        )
+        s2 = r2.add_peer(
+            PeerConfig(
+                peer_id="r1",
+                remote_asn=100,
+                local_address=IPAddress("9.0.0.2"),
+                passive=True,
+                auto_reconnect=True,
+                idle_hold_time=2.0,
+                graceful_restart=gr[1],
+                restart_time=restart_time,
+            ),
+            None,
+        )
+        link = Link(engine, s1, s2, name="gr")
+        link.start()
+        return r1, r2, s1, s2, link
+
+    def test_capability_negotiation(self):
+        engine = Engine(seed=0)
+        _r1, _r2, s1, s2, _link = self._routers(engine)
+        assert s1.gr_active and s2.gr_active
+        assert s1.peer_restart_time == 30
+
+    def test_one_sided_is_inactive(self):
+        engine = Engine(seed=0)
+        _r1, _r2, s1, s2, _link = self._routers(engine, gr=(True, False))
+        assert not s1.gr_active and not s2.gr_active
+
+    def test_stale_retention_and_refresh(self):
+        engine = Engine(seed=4)
+        r1, r2, s1, _s2, link = self._routers(engine)
+        r1.originate(Prefix("10.0.0.0/24"))
+        r1.originate(Prefix("10.0.1.0/24"))
+        engine.run_for(1)
+        assert r2.table_size() == 2
+        link.sever()
+        peer = r2.peer("r1")
+        # Routes survive the transport loss, stale-marked, still selected.
+        assert peer.adj_in.stale_count() == 2
+        assert r2.table_size() == 2
+        assert s1.last_down_graceful
+        engine.run_for(20)
+        # Session recovered; re-advertisement + End-of-RIB cleared staleness.
+        assert link.established
+        assert peer.adj_in.stale_count() == 0
+        assert r2.table_size() == 2
+
+    def test_deadline_flushes_stale_paths(self):
+        engine = Engine(seed=4)
+        r1, r2, _s1, _s2, link = self._routers(engine, restart_time=30)
+        r1.originate(Prefix("10.0.0.0/24"))
+        engine.run_for(1)
+        link.cut()  # peer never comes back
+        peer = r2.peer("r1")
+        assert peer.adj_in.stale_count() == 1
+        engine.run_for(40)  # past the advertised restart time
+        assert peer.adj_in.stale_count() == 0
+        assert r2.table_size() == 0
+        assert peer.stale_flushes == 1
+
+    def test_non_graceful_down_flushes_immediately(self):
+        engine = Engine(seed=4)
+        r1, r2, s1, _s2, link = self._routers(engine)
+        r1.originate(Prefix("10.0.0.0/24"))
+        engine.run_for(1)
+        assert r2.table_size() == 1
+        s1.stop()  # administrative CEASE: not graceful
+        assert r2.peer("r1").adj_in.stale_count() == 0
+        assert r2.table_size() == 0
+
+    def test_readvertisement_after_plain_bounce(self):
+        # Regression: Adj-RIB-Out must be cleared on session down, or the
+        # restarted peer receives nothing (the duplicate check suppresses
+        # every route it actually lost).
+        engine = Engine(seed=4)
+        r1, r2, _s1, _s2, link = self._routers(engine, gr=(False, False))
+        r1.originate(Prefix("10.0.0.0/24"))
+        engine.run_for(1)
+        assert r2.table_size() == 1
+        link.sever()
+        assert r2.table_size() == 0  # non-GR: flushed at once
+        engine.run_for(20)
+        assert link.established
+        assert r2.table_size() == 1
+
+
+class TestRebind:
+    def test_rebind_refused_in_session(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("rb")
+        left = make_session(engine, "L")
+        right = make_session(engine, "R", passive=True)
+        left.rebind(pair.a)
+        right.rebind(pair.b)
+        connect(engine, left, right)
+        assert left.established
+        with pytest.raises(BGPError):
+            left.rebind(ChannelPair("other").a)
+
+    def test_rebind_replays_waiting_open(self):
+        engine = Engine(seed=0)
+        pair = ChannelPair("replay")
+        left = make_session(engine, "L")
+        left.rebind(pair.a)
+        left.start()  # OPEN sent into the void; queued at pair.b
+        assert left.fsm.state == State.OPEN_SENT
+        right = make_session(engine, "R", passive=True)
+        right.rebind(pair.b)  # replays the queued OPEN: implicit start
+        assert left.established and right.established
