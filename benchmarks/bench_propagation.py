@@ -1,0 +1,209 @@
+"""Benchmark: compiled propagation engine vs the reference propagator.
+
+Standalone script (no pytest-benchmark dependency) so CI can run it as a
+smoke step and gate on regressions:
+
+    PYTHONPATH=src python benchmarks/bench_propagation.py \\
+        --output BENCH_propagation.json --check
+
+Measures three regimes on a seeded internet:
+
+* **single_shot** — one cold announcement, reference ``propagate()`` vs
+  ``PropagationEngine.propagate(use_cache=False)``;
+* **cached** — the same announcement served repeatedly from the LRU
+  result cache;
+* **sweep** — a 100-point steering sweep (selective announcement +
+  prepend + poison variations from one origin), reference serial vs
+  engine serial vs ``propagate_many(parallel=N)``.
+
+``--check`` compares the measured single-shot speedup against the
+committed baseline (``BENCH_propagation_baseline.json``) and fails when
+it degrades by more than 2x — a ratio-of-ratios gate, so it tolerates
+slow CI machines but catches real regressions in the compiled kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.inet.engine import PropagationEngine, default_parallelism
+from repro.inet.gen import InternetConfig, build_internet
+from repro.inet.routing import Announcement, OriginSpec, propagate
+
+BASELINE = Path(__file__).with_name("BENCH_propagation_baseline.json")
+
+
+def build_world(quick: bool):
+    if quick:
+        config = InternetConfig(n_ases=300, total_prefixes=5000, seed=99)
+    else:
+        config = InternetConfig(n_ases=1500, total_prefixes=150_000, seed=99)
+    inet = build_internet(config)
+    return inet.graph
+
+
+def pick_origin(graph):
+    """The best-connected AS — worst case for propagation fan-out."""
+    return max(
+        sorted(graph.asns()),
+        key=lambda a: len(graph.providers(a)) + len(graph.peers(a)),
+    )
+
+
+def steering_sweep(graph, origin, points):
+    """Announcement variations a steering experiment would sweep over."""
+    rng = random.Random(1)
+    neighbors = sorted(graph.neighbors(origin))
+    asns = sorted(graph.asns())
+    sweep = []
+    for _ in range(points):
+        announce_to = None
+        if neighbors and rng.random() < 0.7:
+            announce_to = tuple(
+                n for n in neighbors if rng.random() < 0.5
+            )
+        poison = ()
+        if rng.random() < 0.3:
+            poison = (rng.choice(asns),)
+        spec = OriginSpec(
+            asn=origin,
+            prepend=rng.randint(0, 3),
+            poison=poison,
+            announce_to=announce_to,
+        )
+        sweep.append(Announcement(origins=(spec,)))
+    return sweep
+
+
+def timed(fn, repeat=1):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmarks(quick: bool, parallel: int):
+    graph = build_world(quick)
+    origin = pick_origin(graph)
+    announcement = Announcement.single(origin)
+    engine = PropagationEngine(graph)
+    engine.compiled()  # compile outside the timed region
+
+    repeat = 3
+    single_ref = timed(lambda: propagate(graph, announcement), repeat)
+    single_eng = timed(
+        lambda: engine.propagate(announcement, use_cache=False), repeat
+    )
+
+    engine.cache.clear()
+    engine.propagate(announcement)  # warm the cache
+
+    def cached_run():
+        for _ in range(100):
+            engine.propagate(announcement)
+
+    cached_100 = timed(cached_run, repeat)
+
+    points = 20 if quick else 100
+    sweep = steering_sweep(graph, origin, points)
+
+    def ref_sweep():
+        for item in sweep:
+            propagate(graph, item)
+
+    def eng_sweep():
+        engine.propagate_many(sweep, use_cache=False)
+
+    def eng_sweep_parallel():
+        engine.propagate_many(sweep, parallel=parallel, use_cache=False)
+
+    sweep_repeat = 1 if quick else 2
+    sweep_ref = timed(ref_sweep, sweep_repeat)
+    sweep_eng = timed(eng_sweep, sweep_repeat)
+    sweep_par = timed(eng_sweep_parallel, sweep_repeat)
+
+    return {
+        "config": {
+            "quick": quick,
+            "n_ases": len(graph),
+            "sweep_points": points,
+            "origin": origin,
+            "parallel_workers": parallel,
+        },
+        "single_shot": {
+            "reference_s": round(single_ref, 6),
+            "engine_s": round(single_eng, 6),
+            "speedup": round(single_ref / single_eng, 3),
+        },
+        "cached": {
+            "per_hit_us": round(cached_100 / 100 * 1e6, 3),
+            "speedup_vs_reference": round(single_ref / (cached_100 / 100), 1),
+        },
+        "sweep": {
+            "reference_s": round(sweep_ref, 6),
+            "engine_serial_s": round(sweep_eng, 6),
+            "engine_parallel_s": round(sweep_par, 6),
+            "serial_speedup": round(sweep_ref / sweep_eng, 3),
+            "parallel_speedup": round(sweep_ref / sweep_par, 3),
+        },
+        "engine_stats": engine.stats(),
+    }
+
+
+def check_regression(results) -> int:
+    if not BASELINE.exists():
+        print(f"no baseline at {BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(BASELINE.read_text())
+    base_speedup = baseline["single_shot"]["speedup"]
+    now_speedup = results["single_shot"]["speedup"]
+    floor = base_speedup / 2
+    print(
+        f"regression gate: single-shot speedup {now_speedup:.2f}x "
+        f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+    )
+    if now_speedup < floor:
+        print("FAIL: compiled engine regressed >2x vs committed baseline")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small config for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_propagation.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        help="workers for the parallel sweep (default: cpu_count - 1)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on >2x single-shot regression vs committed baseline",
+    )
+    args = parser.parse_args(argv)
+
+    parallel = args.parallel or default_parallelism()
+    results = run_benchmarks(args.quick, parallel)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        return check_regression(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Micro-benchmark: PrefixTrie insert / longest-prefix-match throughput.
+
+Exercises the trie at forwarding-table scale (tens of thousands of
+prefixes) to keep the shift/mask descent honest — the trie backs both the
+prefix pool allocator and data-plane forwarding, so per-operation cost
+multiplies across every delivery probe.
+"""
+
+import random
+
+import pytest
+from conftest import emit
+
+from repro.net.addr import IPAddress, Prefix
+from repro.net.trie import PrefixTrie
+
+N_PREFIXES = 50_000
+N_LOOKUPS = 20_000
+
+
+@pytest.fixture(scope="module")
+def table():
+    """A routing-table-shaped prefix set: /16../24, deterministic."""
+    rng = random.Random(7)
+    prefixes = []
+    seen = set()
+    while len(prefixes) < N_PREFIXES:
+        length = rng.randint(16, 24)
+        value = rng.getrandbits(32) & (((1 << length) - 1) << (32 - length))
+        if (value, length) in seen:
+            continue
+        seen.add((value, length))
+        prefixes.append(Prefix(IPAddress(value, 4), length))
+    return prefixes
+
+
+@pytest.fixture(scope="module")
+def targets(table):
+    rng = random.Random(11)
+    # Half the targets land inside stored prefixes, half are random misses.
+    inside = [
+        IPAddress(p.address.value | rng.getrandbits(32 - p.length), 4)
+        for p in rng.sample(table, N_LOOKUPS // 2)
+    ]
+    outside = [IPAddress(rng.getrandbits(32), 4) for _ in range(N_LOOKUPS // 2)]
+    return inside + outside
+
+
+def test_trie_insert_throughput(benchmark, table):
+    def build():
+        trie = PrefixTrie(4)
+        for prefix in table:
+            trie.insert(prefix, prefix.length)
+        return trie
+
+    trie = benchmark(build)
+    assert len(trie) == N_PREFIXES
+    emit(
+        "trie insert",
+        [[f"{N_PREFIXES} prefixes", f"{len(trie)} stored"]],
+    )
+
+
+def test_trie_lookup_throughput(benchmark, table, targets):
+    trie = PrefixTrie(4)
+    for prefix in table:
+        trie.insert(prefix, prefix.length)
+
+    def sweep():
+        hits = 0
+        for addr in targets:
+            if trie.lookup(addr) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(sweep)
+    assert hits >= N_LOOKUPS // 2  # every inside-target must match
+    emit(
+        "trie longest-prefix match",
+        [[f"{N_LOOKUPS} lookups", f"{hits} hits"]],
+    )

@@ -79,13 +79,48 @@ def best_path(
 
     Routes whose next hop is unusable should be filtered by the caller
     before ranking (the router does this when it knows reachability).
+
+    Conditional MED (step 6) makes naive pairwise comparison intransitive
+    — A can beat B on MED while both fall through to later steps against
+    C — so a plain comparison sort oscillates with input order.  We rank
+    deterministic-MED style instead: routes are grouped by neighbor AS,
+    each group is ordered with MED in force (always comparable within a
+    group), and the group heads are merged with the MED step skipped
+    (never comparable across groups).  Both phases use transitive
+    comparators, so the ranking is independent of candidate order.
     """
-    return sorted(
-        candidates,
-        key=cmp_to_key(
-            lambda a, b: _compare(a, b, always_compare_med, prefer_oldest)
-        ),
+    routes = list(candidates)
+    if len(routes) <= 1:
+        return routes
+    key = cmp_to_key(
+        lambda a, b: _compare(a, b, always_compare_med, prefer_oldest)
     )
+    if always_compare_med:
+        # MED applies to every pair; the ladder is fully transitive.
+        return sorted(routes, key=key)
+    pools: List[List[Route]] = []
+    by_neighbor: dict = {}
+    for route in routes:
+        asn = route.attributes.as_path.first_asn
+        if asn is None:
+            # MED is never compared against a route with an empty path;
+            # each such route merges as its own group.
+            pools.append([route])
+        else:
+            group = by_neighbor.get(asn)
+            if group is None:
+                group = by_neighbor[asn] = []
+                pools.append(group)
+            group.append(route)
+    for group in pools:
+        group.sort(key=key)
+    ranked: List[Route] = []
+    while pools:
+        index = min(range(len(pools)), key=lambda i: key(pools[i][0]))
+        ranked.append(pools[index].pop(0))
+        if not pools[index]:
+            pools.pop(index)
+    return ranked
 
 
 def select_best(

@@ -19,9 +19,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..inet.dataplane import DataPlane, Delivery, DeliveryStatus
+from ..inet.engine import PropagationEngine
 from ..inet.gen import AmsIxConfig, Internet, InternetConfig, build_amsix, build_internet
 from ..inet.ixp import IXP
-from ..inet.routing import Announcement, OriginSpec, RoutingOutcome, propagate
+from ..inet.routing import Announcement, OriginSpec, RoutingOutcome
 from ..inet.topology import ASGraph, ASKind, ASNode
 from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
@@ -67,7 +68,11 @@ class Testbed:
         # prefix -> server name -> (client id, spec)
         self._announced: Dict[Prefix, Dict[str, Tuple[str, AnnouncementSpec]]] = {}
         self._dirty: Set[Prefix] = set()
-        self._outcome_cache: Dict[int, RoutingOutcome] = {}
+        # Compiled propagation engine: recompiles on graph mutation (the
+        # graph version counter) and LRU-caches converged outcomes, so
+        # per-destination route computation and announcement sweeps share
+        # work automatically.
+        self.propagation = PropagationEngine(self.graph, cache_size=4096)
         self._next_server_addr = 1
 
         if asn not in self.graph:
@@ -166,7 +171,6 @@ class Testbed:
         else:
             server.join_ixp()
         self.servers[site.name] = server
-        self._outcome_cache.clear()  # adjacency changed
         return server
 
     def server(self, name: str) -> PeeringServer:
@@ -329,7 +333,7 @@ class Testbed:
                     announce_to=peers,
                 )
             )
-        outcome = propagate(self.graph, Announcement(origins=tuple(origins)))
+        outcome = self.propagation.propagate(Announcement(origins=tuple(origins)))
         self.dataplane.install(prefix, outcome, owner=self.asn)
 
     def announced_prefixes(self) -> List[Prefix]:
@@ -343,12 +347,10 @@ class Testbed:
 
     def outcome_for_origin(self, origin_asn: int) -> RoutingOutcome:
         """Converged routes for a (full) announcement by ``origin_asn`` —
-        cached, since every server slices the same outcome."""
-        outcome = self._outcome_cache.get(origin_asn)
-        if outcome is None:
-            outcome = propagate(self.graph, Announcement.single(origin_asn))
-            self._outcome_cache[origin_asn] = outcome
-        return outcome
+        served from the propagation engine's LRU cache, since every
+        server slices the same outcome (and the cache self-invalidates
+        when the graph mutates)."""
+        return self.propagation.propagate(Announcement.single(origin_asn))
 
     # -- data plane glue ---------------------------------------------------------------------
 
@@ -402,4 +404,5 @@ class Testbed:
             "experiments": len(self.experiments),
             "announced_prefixes": len(self._announced),
             "pool_free_slash24": self.pool.free_count(),
+            "propagation": self.propagation.stats(),
         }

@@ -9,6 +9,12 @@ from .analysis import (
     top_cone_overlap,
 )
 from .dataplane import DataPlane, Delivery, DeliveryStatus
+from .engine import (
+    CompiledOutcome,
+    CompiledTopology,
+    OutcomeCache,
+    PropagationEngine,
+)
 from .gen import AmsIxConfig, Internet, InternetConfig, build_amsix, build_internet
 from .ixp import IXP, PeeringRequest, RemotePeeringProvider, RequestOutcome
 from .rootcause import PathChange, classify_changes, locate_root_cause
@@ -31,6 +37,10 @@ __all__ = [
     "DataPlane",
     "Delivery",
     "DeliveryStatus",
+    "CompiledOutcome",
+    "CompiledTopology",
+    "OutcomeCache",
+    "PropagationEngine",
     "AmsIxConfig",
     "Internet",
     "InternetConfig",

@@ -1,0 +1,748 @@
+"""Compiled Gao–Rexford propagation engine for sweep-style experiments.
+
+Every experiment the paper showcases (§2: LIFEGUARD-style poisoning,
+PoiRoot-style selective announcement, anycast prepend engineering) is a
+*sweep*: evaluate dozens-to-thousands of announcement configurations over
+the same AS graph.  The reference :func:`repro.inet.routing.propagate`
+re-derives everything per call: it materializes a full AS-path tuple per
+reached AS and pays per-call set copies on every adjacency access.
+
+:class:`PropagationEngine` instead **compiles** the :class:`ASGraph` once
+into int-indexed, pre-sorted CSR-style adjacency arrays (invalidated by
+the graph's version counter) and converges over a **parent-pointer route
+table**: per AS an ``(kind, via, root-spec, pathlen)`` record.  AS paths
+are reconstructed lazily on demand, so no path tuples are copied during
+convergence.
+
+The trick that makes the route table sufficient: in each propagation
+phase, every AS on a candidate's path is already *finalized* (it either
+originated the route or was popped from the phase heap earlier), so the
+reference's ``neighbor not in path`` loop check decomposes exactly into
+
+* "neighbor already holds a route" — one bitmap read, and
+* "neighbor's ASN appears in the origin's export path" (prepends and
+  poison sentinels) — one frozenset membership test.
+
+Neither needs the path.  Index order is ASN order, so integer heap
+entries tie-break identically to the reference's ASN/path comparisons —
+the engine is route-for-route identical to ``propagate()`` (property
+tests in ``tests/test_inet_engine.py`` enforce this).
+
+On top sit an LRU result cache keyed by ``(graph version, canonical
+announcement)`` and :meth:`PropagationEngine.propagate_many`, which fans
+a sweep out over a ``multiprocessing`` pool, shipping the compiled
+topology once per worker and compact route tables back.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import OrderedDict
+from heapq import heappop, heappush
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .routing import Announcement, ASRoute, OriginSpec, RouteKind, RoutingOutcome
+from .topology import ASGraph, TopologyError
+
+__all__ = [
+    "CompiledTopology",
+    "CompiledOutcome",
+    "OutcomeCache",
+    "PropagationEngine",
+    "canonical_key",
+]
+
+_ORIGIN = int(RouteKind.ORIGIN)
+_CUSTOMER = int(RouteKind.CUSTOMER)
+_PEER = int(RouteKind.PEER)
+_PROVIDER = int(RouteKind.PROVIDER)
+
+# Empty tie-break rank for non-origin heap entries.  Origin entries carry
+# their export path here, mirroring the reference heap's path comparison
+# when (pathlen, via, target) tie between two specs of one origin.
+_NO_RANK: Tuple[int, ...] = ()
+
+
+class CompiledTopology:
+    """An :class:`ASGraph` frozen into int-indexed adjacency arrays.
+
+    ASes are renumbered ``0..n-1`` in ascending-ASN order (so comparing
+    indices is comparing ASNs), and each relation is stored CSR-style as
+    one flat neighbor array plus per-node offsets.  Per-node tuples are
+    derived once for the hot loops; the CSR arrays are also the compact
+    pickle form shipped to pool workers.
+    """
+
+    __slots__ = (
+        "version", "n", "asns", "idx",
+        "prov_off", "prov_adj", "cust_off", "cust_adj", "peer_off", "peer_adj",
+        "providers", "customers", "peers", "peer_nodes", "cust_nodes",
+    )
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.version = graph.version
+        asns = sorted(graph.asns())
+        self.asns: List[int] = asns
+        self.n = len(asns)
+        idx = {asn: i for i, asn in enumerate(asns)}
+        self.idx: Dict[int, int] = idx
+
+        def build(sorted_of) -> Tuple[array, array]:
+            adj = array("l")
+            off = array("l", [0])
+            for asn in asns:
+                # sorted-by-ASN neighbors map to sorted indices (monotone).
+                adj.extend(idx[nbr] for nbr in sorted_of(asn))
+                off.append(len(adj))
+            return off, adj
+
+        self.prov_off, self.prov_adj = build(graph.sorted_providers)
+        self.cust_off, self.cust_adj = build(graph.sorted_customers)
+        self.peer_off, self.peer_adj = build(graph.sorted_peers)
+        self._derive_views()
+
+    def _derive_views(self) -> None:
+        def views(off: array, adj: array) -> List[Tuple[int, ...]]:
+            lst = adj.tolist()
+            return [tuple(lst[off[i]:off[i + 1]]) for i in range(self.n)]
+
+        self.providers = views(self.prov_off, self.prov_adj)
+        self.customers = views(self.cust_off, self.cust_adj)
+        self.peers = views(self.peer_off, self.peer_adj)
+        # Ascending index lists of nodes that have peer / customer edges,
+        # so phases 2 and 3 skip the (usually large) pure-stub remainder.
+        self.peer_nodes = tuple(i for i, p in enumerate(self.peers) if p)
+        self.cust_nodes = tuple(i for i, c in enumerate(self.customers) if c)
+
+    # -- pickling (pool workers get the CSR arrays, not the tuple views) ------
+
+    def __getstate__(self):
+        return (
+            self.version, self.asns,
+            self.prov_off, self.prov_adj,
+            self.cust_off, self.cust_adj,
+            self.peer_off, self.peer_adj,
+        )
+
+    def __setstate__(self, state):
+        (self.version, self.asns,
+         self.prov_off, self.prov_adj,
+         self.cust_off, self.cust_adj,
+         self.peer_off, self.peer_adj) = state
+        self.n = len(self.asns)
+        self.idx = {asn: i for i, asn in enumerate(self.asns)}
+        self._derive_views()
+
+
+def canonical_key(announcement: Announcement) -> Tuple:
+    """Hashable canonical form of an announcement for result caching.
+
+    Spec order is preserved (it is semantically significant when one
+    origin carries several specs); ``announce_to`` is normalized to a
+    sorted unique tuple since only membership matters.
+    """
+    return tuple(
+        (
+            spec.asn,
+            spec.prepend,
+            tuple(spec.poison),
+            None if spec.announce_to is None
+            else tuple(sorted(set(spec.announce_to))),
+        )
+        for spec in announcement.origins
+    )
+
+
+def _compile_specs(
+    compiled: CompiledTopology, announcement: Announcement
+) -> Tuple[Tuple[int, Tuple[int, ...], frozenset, Optional[frozenset]], ...]:
+    """Per-spec (origin_index, export_path, export_set, announce_to_set)."""
+    specs = []
+    for spec in announcement.origins:
+        oi = compiled.idx.get(spec.asn)
+        if oi is None:
+            raise TopologyError(f"unknown AS{spec.asn}")
+        epath = spec.export_path()
+        ato = None if spec.announce_to is None else frozenset(spec.announce_to)
+        specs.append((oi, epath, frozenset(epath), ato))
+    return tuple(specs)
+
+
+def _converge(
+    ct: CompiledTopology,
+    specs: Sequence[Tuple[int, Tuple[int, ...], frozenset, Optional[frozenset]]],
+) -> Tuple[bytearray, List[int], List[int], List[int]]:
+    """Run the three Gao–Rexford phases over the compiled topology.
+
+    Returns the parent-pointer route table ``(kind, via, root, plen)``:
+    ``kind[i]`` is the RouteKind value (0 = unreached; nonzero doubles as
+    the "has a route" bitmap), ``via[i]`` the neighbor index forwarded to
+    (-1 at origins), ``root[i]`` the spec index whose export path
+    terminates i's parent chain, ``plen[i]`` the AS-path length.
+
+    Heap entries encode ``(pathlen, via, target)`` as the single integer
+    ``pathlen*n² + via*n + target``, which orders identically to the
+    reference heap because index order is ASN order.  With one origin
+    spec every key is unique — each (via, target) pair is pushed at most
+    once — so the single-spec fast path heaps bare ints.  With several
+    specs, keys can collide between specs of one origin and the
+    reference breaks that tie by comparing export paths, so entries
+    become ``(key, export_path_rank, spec_index)`` tuples.
+    """
+    if len(specs) == 1:
+        return _converge_single(ct, *specs[0])
+
+    n = ct.n
+    n2 = n * n
+    asns = ct.asns
+    providers = ct.providers
+    customers = ct.customers
+    peers = ct.peers
+    push_ = heappush
+    pop_ = heappop
+
+    kind = bytearray(n)
+    via: List[int] = [-1] * n
+    root: List[int] = [-1] * n
+    plen: List[int] = [0] * n
+
+    for oi, _epath, _eset, _ato in specs:
+        kind[oi] = _ORIGIN
+    spec_sets = [s[2] for s in specs]
+
+    # ---- Phase 1: customer routes climb provider edges ---------------------
+    heap: List[Tuple[int, Tuple[int, ...], int]] = []
+    for si, (oi, epath, eset, ato) in enumerate(specs):
+        base = len(epath) * n2 + oi * n
+        for p in providers[oi]:
+            pasn = asns[p]
+            if (ato is None or pasn in ato) and pasn not in eset:
+                push_(heap, (base + p, epath, si))
+    while heap:
+        key, _rank, si = pop_(heap)
+        t = key % n
+        if kind[t]:
+            continue
+        rest = key // n
+        kind[t] = _CUSTOMER
+        via[t] = rest % n
+        root[t] = si
+        plen[t] = rest // n
+        nbase = key - key % n2 + n2 + t * n  # (pathlen+1, via=t, ·)
+        eset = spec_sets[si]
+        for p in providers[t]:
+            if not kind[p] and asns[p] not in eset:
+                push_(heap, (nbase + p, _NO_RANK, si))
+
+    # ---- Phase 2: one hop across peer edges --------------------------------
+    # Candidates per peer, best (pathlen, exporter) wins; strict < keeps
+    # the earlier (lower-ASN) exporter on ties, as in the reference.
+    specs_of_origin: Dict[int, List[int]] = {}
+    for si, (oi, _epath, _eset, _ato) in enumerate(specs):
+        specs_of_origin.setdefault(oi, []).append(si)
+    cand: Dict[int, Tuple[int, int, int]] = {}
+    for e in ct.peer_nodes:
+        k = kind[e]
+        if not k:
+            continue
+        pe = peers[e]
+        if k == _ORIGIN:
+            # Later specs of the same origin overwrite earlier ones per
+            # peer (reference dict-comprehension semantics).
+            base_spec: Dict[int, Tuple[int, int]] = {}
+            for si in specs_of_origin[e]:
+                _oi, epath, eset, ato = specs[si]
+                pl = len(epath)
+                for p in pe:
+                    if ato is None or asns[p] in ato:
+                        base_spec[p] = (pl, si)
+            for p, (pl, si) in base_spec.items():
+                if kind[p] or asns[p] in spec_sets[si]:
+                    continue
+                inc = cand.get(p)
+                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                    cand[p] = (pl, e, si)
+        else:
+            pl = plen[e] + 1
+            si = root[e]
+            eset = spec_sets[si]
+            for p in pe:
+                if kind[p] or asns[p] in eset:
+                    continue
+                inc = cand.get(p)
+                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                    cand[p] = (pl, e, si)
+    for t, (pl, v, si) in cand.items():
+        kind[t] = _PEER
+        via[t] = v
+        root[t] = si
+        plen[t] = pl
+
+    # ---- Phase 3: routes descend provider->customer edges ------------------
+    heap = []
+    for e in ct.cust_nodes:
+        k = kind[e]
+        if not k:
+            continue
+        cu = customers[e]
+        if k == _ORIGIN:
+            for si in specs_of_origin[e]:
+                _oi, epath, eset, ato = specs[si]
+                base = len(epath) * n2 + e * n
+                for c in cu:
+                    casn = asns[c]
+                    if (ato is None or casn in ato) and casn not in eset:
+                        push_(heap, (base + c, epath, si))
+        else:
+            si = root[e]
+            eset = spec_sets[si]
+            base = (plen[e] + 1) * n2 + e * n
+            for c in cu:
+                if not kind[c] and asns[c] not in eset:
+                    push_(heap, (base + c, _NO_RANK, si))
+    while heap:
+        key, _rank, si = pop_(heap)
+        t = key % n
+        if kind[t]:
+            continue
+        rest = key // n
+        kind[t] = _PROVIDER
+        via[t] = rest % n
+        root[t] = si
+        plen[t] = rest // n
+        nbase = key - key % n2 + n2 + t * n
+        eset = spec_sets[si]
+        for c in customers[t]:
+            if not kind[c] and asns[c] not in eset:
+                push_(heap, (nbase + c, _NO_RANK, si))
+
+    return kind, via, root, plen
+
+
+def _converge_single(
+    ct: CompiledTopology,
+    oi: int,
+    epath: Tuple[int, ...],
+    eset: frozenset,
+    ato: Optional[frozenset],
+) -> Tuple[bytearray, List[int], List[int], List[int]]:
+    """Single-origin-spec fast path: bare-int heap keys (always unique),
+    no per-entry spec bookkeeping.  This is the sweep workhorse."""
+    n = ct.n
+    n2 = n * n
+    asns = ct.asns
+    providers = ct.providers
+    customers = ct.customers
+    peers = ct.peers
+    push_ = heappush
+    pop_ = heappop
+
+    kind = bytearray(n)
+    via: List[int] = [-1] * n
+    plen: List[int] = [0] * n
+    kind[oi] = _ORIGIN
+    pl0 = len(epath)
+
+    # ---- Phase 1: up provider edges ----------------------------------------
+    heap: List[int] = []
+    base = pl0 * n2 + oi * n
+    for p in providers[oi]:
+        pasn = asns[p]
+        if (ato is None or pasn in ato) and pasn not in eset:
+            push_(heap, base + p)
+    while heap:
+        key = pop_(heap)
+        t = key % n
+        if kind[t]:
+            continue
+        rest = key // n
+        kind[t] = _CUSTOMER
+        via[t] = rest % n
+        plen[t] = rest // n
+        nbase = key - key % n2 + n2 + t * n
+        for p in providers[t]:
+            if not kind[p] and asns[p] not in eset:
+                push_(heap, nbase + p)
+
+    # ---- Phase 2: one peer hop ---------------------------------------------
+    cand: Dict[int, Tuple[int, int]] = {}
+    cand_get = cand.get
+    for e in ct.peer_nodes:
+        k = kind[e]
+        if not k:
+            continue
+        if k == _ORIGIN:
+            pl = pl0
+            for p in peers[e]:
+                pasn = asns[p]
+                if ato is not None and pasn not in ato:
+                    continue
+                if kind[p] or pasn in eset:
+                    continue
+                inc = cand_get(p)
+                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                    cand[p] = (pl, e)
+        else:
+            pl = plen[e] + 1
+            for p in peers[e]:
+                if kind[p] or asns[p] in eset:
+                    continue
+                inc = cand_get(p)
+                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                    cand[p] = (pl, e)
+    for t, (pl, v) in cand.items():
+        kind[t] = _PEER
+        via[t] = v
+        plen[t] = pl
+
+    # ---- Phase 3: down customer edges --------------------------------------
+    heap = []
+    for e in ct.cust_nodes:
+        k = kind[e]
+        if not k:
+            continue
+        if k == _ORIGIN:
+            base = pl0 * n2 + e * n
+            for c in customers[e]:
+                casn = asns[c]
+                if (ato is None or casn in ato) and casn not in eset:
+                    push_(heap, base + c)
+        else:
+            base = (plen[e] + 1) * n2 + e * n
+            for c in customers[e]:
+                if not kind[c] and asns[c] not in eset:
+                    push_(heap, base + c)
+    while heap:
+        key = pop_(heap)
+        t = key % n
+        if kind[t]:
+            continue
+        rest = key // n
+        kind[t] = _PROVIDER
+        via[t] = rest % n
+        plen[t] = rest // n
+        nbase = key - key % n2 + n2 + t * n
+        for c in customers[t]:
+            if not kind[c] and asns[c] not in eset:
+                push_(heap, nbase + c)
+
+    return kind, via, [0] * n, plen
+
+
+class CompiledOutcome(RoutingOutcome):
+    """A :class:`RoutingOutcome` backed by the compact parent-pointer
+    table.  AS paths (and :class:`ASRoute` objects) materialize lazily
+    and are memoized; everything else reads the arrays directly."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        compiled: CompiledTopology,
+        table: Tuple[bytearray, List[int], List[int], List[int]],
+        spec_paths: Tuple[Tuple[int, ...], ...],
+    ) -> None:
+        self._graph = graph
+        self._compiled = compiled
+        self._kind, self._via, self._root, self._plen = table
+        self._spec_paths = spec_paths
+        self._memo: Dict[int, ASRoute] = {}
+
+    # -- core accessors -------------------------------------------------------
+
+    def route(self, asn: int) -> Optional[ASRoute]:
+        memo = self._memo
+        route = memo.get(asn)
+        if route is not None:
+            return route
+        i = self._compiled.idx.get(asn)
+        if i is None:
+            return None
+        k = self._kind[i]
+        if not k:
+            return None
+        route = ASRoute(kind=RouteKind(k), path=self._path_of(i), via=self._via_asn(i))
+        memo[asn] = route
+        return route
+
+    def _via_asn(self, i: int) -> Optional[int]:
+        v = self._via[i]
+        return None if v < 0 else self._compiled.asns[v]
+
+    def _path_of(self, i: int) -> Tuple[int, ...]:
+        """Reconstruct the AS path by walking parent pointers to the
+        originating spec's export path."""
+        if self._kind[i] == _ORIGIN:
+            return ()
+        asns = self._compiled.asns
+        via = self._via
+        kind = self._kind
+        parts: List[int] = []
+        cur = via[i]
+        while kind[cur] != _ORIGIN:
+            parts.append(asns[cur])
+            cur = via[cur]
+        return tuple(parts) + self._spec_paths[self._root[i]]
+
+    def reaches(self, asn: int) -> bool:
+        i = self._compiled.idx.get(asn)
+        return i is not None and bool(self._kind[i])
+
+    def reachable_asns(self) -> Set[int]:
+        asns = self._compiled.asns
+        return {asns[i] for i, k in enumerate(self._kind) if k}
+
+    def __len__(self) -> int:
+        return sum(1 for k in self._kind if k)
+
+    def items(self) -> Iterator[Tuple[int, ASRoute]]:
+        asns = self._compiled.asns
+        for i, k in enumerate(self._kind):
+            if k:
+                asn = asns[i]
+                yield asn, self.route(asn)
+
+    def forwarding_chain(self, asn: int, max_hops: int = 64) -> List[int]:
+        # Same semantics as the base class, but walks the via array
+        # without materializing ASRoute objects.
+        chain = [asn]
+        idx = self._compiled.idx
+        asns = self._compiled.asns
+        kind = self._kind
+        via = self._via
+        i = idx.get(asn)
+        for _ in range(max_hops):
+            if i is None or not kind[i]:
+                return chain  # blackhole
+            if kind[i] == _ORIGIN:
+                return chain
+            i = via[i]
+            chain.append(asns[i])
+        return chain
+
+    def as_path(self, asn: int) -> Optional[Tuple[int, ...]]:
+        route = self.route(asn)
+        return route.path if route is not None else None
+
+
+class OutcomeCache:
+    """LRU cache of converged outcomes keyed by
+    ``(graph version, canonical announcement)`` with hit/miss stats."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Tuple, RoutingOutcome]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple) -> Optional[RoutingOutcome]:
+        outcome = self._data.get(key)
+        if outcome is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return outcome
+
+    def put(self, key: Tuple, outcome: RoutingOutcome) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = outcome
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def prune_version(self, version: int) -> None:
+        """Drop entries computed against any graph version but ``version``."""
+        stale = [key for key in self._data if key[0] != version]
+        for key in stale:
+            del self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+# -- multiprocessing worker plumbing ------------------------------------------
+# The compiled topology is shipped once per worker via the pool
+# initializer; tasks then carry only the (tiny) canonical spec blobs and
+# results only the compact route-table arrays.
+
+_WORKER_TOPOLOGY: Optional[CompiledTopology] = None
+
+
+def _pool_init(compiled: CompiledTopology) -> None:
+    global _WORKER_TOPOLOGY
+    _WORKER_TOPOLOGY = compiled
+
+
+def _pool_run(spec_blob):
+    ct = _WORKER_TOPOLOGY
+    specs = tuple(
+        (ct.idx[asn], epath, frozenset(epath),
+         None if ato is None else frozenset(ato))
+        for asn, epath, ato in spec_blob
+    )
+    kind, via, root, plen = _converge(ct, specs)
+    return bytes(kind), array("l", via), array("l", root), array("l", plen)
+
+
+class PropagationEngine:
+    """Compiled, cached, batched route propagation over one ``ASGraph``.
+
+    The graph stays mutable: the engine recompiles automatically when
+    ``graph.version`` moves, and the result cache never returns an
+    outcome computed against a stale topology.
+    """
+
+    def __init__(self, graph: ASGraph, cache_size: int = 1024) -> None:
+        self.graph = graph
+        self.cache = OutcomeCache(cache_size)
+        self._compiled: Optional[CompiledTopology] = None
+        self.compile_count = 0
+
+    # -- compilation ----------------------------------------------------------
+
+    def compiled(self) -> CompiledTopology:
+        """The compiled topology for the graph's *current* version."""
+        compiled = self._compiled
+        if compiled is None or compiled.version != self.graph.version:
+            compiled = CompiledTopology(self.graph)
+            self._compiled = compiled
+            self.compile_count += 1
+            self.cache.prune_version(compiled.version)
+        return compiled
+
+    # -- single announcement --------------------------------------------------
+
+    def propagate(
+        self, announcement: Announcement, use_cache: bool = True
+    ) -> RoutingOutcome:
+        """Converged routes for ``announcement``; drop-in for
+        :func:`repro.inet.routing.propagate`."""
+        compiled = self.compiled()
+        if use_cache:
+            key = (compiled.version, canonical_key(announcement))
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        outcome = self._run(compiled, announcement)
+        if use_cache:
+            self.cache.put(key, outcome)
+        return outcome
+
+    def _run(
+        self, compiled: CompiledTopology, announcement: Announcement
+    ) -> CompiledOutcome:
+        specs = _compile_specs(compiled, announcement)
+        table = _converge(compiled, specs)
+        spec_paths = tuple(s[1] for s in specs)
+        return CompiledOutcome(self.graph, compiled, table, spec_paths)
+
+    # -- sweeps ---------------------------------------------------------------
+
+    def propagate_many(
+        self,
+        announcements: Sequence[Announcement],
+        parallel: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> List[RoutingOutcome]:
+        """Converge a whole sweep; with ``parallel=N`` fan the cache
+        misses out over N worker processes sharing one compiled topology.
+        """
+        announcements = list(announcements)
+        compiled = self.compiled()
+        results: List[Optional[RoutingOutcome]] = [None] * len(announcements)
+        miss_idx: List[int] = []
+        keys: List[Tuple] = []
+        for i, announcement in enumerate(announcements):
+            key = (compiled.version, canonical_key(announcement))
+            keys.append(key)
+            cached = self.cache.get(key) if use_cache else None
+            if cached is not None:
+                results[i] = cached
+            else:
+                miss_idx.append(i)
+
+        if miss_idx:
+            workers = 0 if parallel is None else min(parallel, len(miss_idx))
+            if workers > 1:
+                outcomes = self._run_parallel(
+                    compiled, [announcements[i] for i in miss_idx], workers
+                )
+            else:
+                outcomes = [
+                    self._run(compiled, announcements[i]) for i in miss_idx
+                ]
+            for i, outcome in zip(miss_idx, outcomes):
+                results[i] = outcome
+                if use_cache:
+                    self.cache.put(keys[i], outcome)
+        return results  # type: ignore[return-value]
+
+    def _run_parallel(
+        self,
+        compiled: CompiledTopology,
+        announcements: Sequence[Announcement],
+        workers: int,
+    ) -> List[CompiledOutcome]:
+        import multiprocessing
+
+        blobs = []
+        all_spec_paths = []
+        for announcement in announcements:
+            specs = _compile_specs(compiled, announcement)  # validates origins
+            all_spec_paths.append(tuple(s[1] for s in specs))
+            blobs.append(
+                tuple(
+                    (spec.asn, spec.export_path(), spec.announce_to)
+                    for spec in announcement.origins
+                )
+            )
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            ctx = multiprocessing.get_context()
+        try:
+            with ctx.Pool(
+                processes=workers, initializer=_pool_init, initargs=(compiled,)
+            ) as pool:
+                raw = pool.map(_pool_run, blobs)
+        except (OSError, PermissionError):
+            # Sandboxed/locked-down hosts without working semaphores:
+            # degrade to in-process execution rather than failing the sweep.
+            return [self._run(compiled, a) for a in announcements]
+        outcomes = []
+        for (kind_b, via_a, root_a, plen_a), spec_paths in zip(raw, all_spec_paths):
+            table = (bytearray(kind_b), via_a.tolist(), root_a.tolist(), plen_a.tolist())
+            outcomes.append(CompiledOutcome(self.graph, compiled, table, spec_paths))
+        return outcomes
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        compiled = self._compiled
+        return {
+            "graph_version": self.graph.version,
+            "compiled_version": None if compiled is None else compiled.version,
+            "compile_count": self.compile_count,
+            "cache": self.cache.stats(),
+        }
+
+
+def default_parallelism() -> int:
+    """Worker count for sweep fan-out (leave one CPU for the driver)."""
+    return max(1, (os.cpu_count() or 1) - 1)

@@ -128,7 +128,7 @@ class RoutingOutcome:
         return self._routes.items()
 
     def as_path(self, asn: int) -> Optional[Tuple[int, ...]]:
-        route = self._routes.get(asn)
+        route = self.route(asn)
         return route.path if route is not None else None
 
     def forwarding_chain(self, asn: int, max_hops: int = 64) -> List[int]:
@@ -138,7 +138,7 @@ class RoutingOutcome:
         chain = [asn]
         current = asn
         for _ in range(max_hops):
-            route = self._routes.get(current)
+            route = self.route(current)
             if route is None:
                 return chain  # blackhole: chain ends before an origin
             if route.via is None:
@@ -153,7 +153,7 @@ class RoutingOutcome:
 
         This is how a PEERING mux's Adj-RIB-In from each peer is derived.
         """
-        route = self._routes.get(exporter)
+        route = self.route(exporter)
         if route is None:
             return None
         graph = self._graph
@@ -187,7 +187,7 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
     up_heap: List[Tuple[int, int, int, Tuple[int, ...]]] = []
     for spec in announcement.origins:
         path = spec.export_path()
-        for provider in sorted(graph.providers(spec.asn)):
+        for provider in graph.sorted_providers(spec.asn):
             if origin_export_ok(spec, provider) and provider not in path:
                 heapq.heappush(up_heap, (len(path), spec.asn, provider, path))
     up_routes: Dict[int, ASRoute] = {}
@@ -198,7 +198,7 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
         route = ASRoute(kind=RouteKind.CUSTOMER, path=path, via=via)
         up_routes[target] = route
         new_path = (target,) + path
-        for provider in sorted(graph.providers(target)):
+        for provider in graph.sorted_providers(target):
             if provider not in new_path and provider not in up_routes and provider not in selected:
                 heapq.heappush(up_heap, (len(new_path), target, provider, new_path))
     selected.update(up_routes)
@@ -241,12 +241,12 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
             specs = [s for s in announcement.origins if s.asn == exporter]
             for spec in specs:
                 path = spec.export_path()
-                for customer in sorted(graph.customers(exporter)):
+                for customer in graph.sorted_customers(exporter):
                     if origin_export_ok(spec, customer) and customer not in path:
                         heapq.heappush(down_heap, (len(path), exporter, customer, path))
         else:
             path = (exporter,) + route.path
-            for customer in sorted(graph.customers(exporter)):
+            for customer in graph.sorted_customers(exporter):
                 if customer not in selected and customer not in path:
                     heapq.heappush(down_heap, (len(path), exporter, customer, path))
     down_routes: Dict[int, ASRoute] = {}
@@ -257,7 +257,7 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
         route = ASRoute(kind=RouteKind.PROVIDER, path=path, via=via)
         down_routes[target] = route
         new_path = (target,) + path
-        for customer in sorted(graph.customers(target)):
+        for customer in graph.sorted_customers(target):
             if (
                 customer not in selected
                 and customer not in down_routes

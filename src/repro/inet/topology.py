@@ -83,6 +83,12 @@ class ASGraph:
     Adjacency is stored per-AS as three sets — ``providers``, ``customers``,
     ``peers`` — which is exactly the shape the Gao–Rexford propagation
     engine consumes.
+
+    Every mutation bumps :attr:`version`, which is what
+    :class:`repro.inet.engine.PropagationEngine` keys its compiled
+    topology and result cache on.  The frozen/sorted adjacency views
+    returned by the accessors are cached between mutations so hot loops
+    (route propagation, export checks) don't pay a set copy per call.
     """
 
     def __init__(self) -> None:
@@ -90,6 +96,30 @@ class ASGraph:
         self._providers: Dict[int, Set[int]] = {}
         self._customers: Dict[int, Set[int]] = {}
         self._peers: Dict[int, Set[int]] = {}
+        self._version = 0
+        # asn -> cached immutable view, dropped wholesale on mutation.
+        self._fz_providers: Dict[int, FrozenSet[int]] = {}
+        self._fz_customers: Dict[int, FrozenSet[int]] = {}
+        self._fz_peers: Dict[int, FrozenSet[int]] = {}
+        self._fz_neighbors: Dict[int, FrozenSet[int]] = {}
+        self._sorted_providers: Dict[int, Tuple[int, ...]] = {}
+        self._sorted_customers: Dict[int, Tuple[int, ...]] = {}
+        self._sorted_peers: Dict[int, Tuple[int, ...]] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every node/edge mutation."""
+        return self._version
+
+    def _mutated(self) -> None:
+        self._version += 1
+        self._fz_providers.clear()
+        self._fz_customers.clear()
+        self._fz_peers.clear()
+        self._fz_neighbors.clear()
+        self._sorted_providers.clear()
+        self._sorted_customers.clear()
+        self._sorted_peers.clear()
 
     # -- nodes ---------------------------------------------------------------
 
@@ -100,6 +130,7 @@ class ASGraph:
         self._providers[node.asn] = set()
         self._customers[node.asn] = set()
         self._peers[node.asn] = set()
+        self._mutated()
         return node
 
     def get(self, asn: int) -> ASNode:
@@ -129,6 +160,7 @@ class ASGraph:
         for peer in list(self._peers[asn]):
             self._peers[peer].discard(asn)
         del self._nodes[asn], self._providers[asn], self._customers[asn], self._peers[asn]
+        self._mutated()
 
     # -- edges -----------------------------------------------------------------
 
@@ -143,6 +175,7 @@ class ASGraph:
             )
         self._providers[customer].add(provider)
         self._customers[provider].add(customer)
+        self._mutated()
 
     def add_peering(self, a: int, b: int) -> None:
         """Record a settlement-free peering between ``a`` and ``b``."""
@@ -153,24 +186,58 @@ class ASGraph:
             raise TopologyError(f"AS{a}-AS{b} already related differently")
         self._peers[a].add(b)
         self._peers[b].add(a)
+        self._mutated()
 
     def remove_peering(self, a: int, b: int) -> None:
         self._peers[a].discard(b)
         self._peers[b].discard(a)
+        self._mutated()
 
     def providers(self, asn: int) -> FrozenSet[int]:
-        return frozenset(self._providers[asn])
+        view = self._fz_providers.get(asn)
+        if view is None:
+            view = self._fz_providers[asn] = frozenset(self._providers[asn])
+        return view
 
     def customers(self, asn: int) -> FrozenSet[int]:
-        return frozenset(self._customers[asn])
+        view = self._fz_customers.get(asn)
+        if view is None:
+            view = self._fz_customers[asn] = frozenset(self._customers[asn])
+        return view
 
     def peers(self, asn: int) -> FrozenSet[int]:
-        return frozenset(self._peers[asn])
+        view = self._fz_peers.get(asn)
+        if view is None:
+            view = self._fz_peers[asn] = frozenset(self._peers[asn])
+        return view
 
     def neighbors(self, asn: int) -> FrozenSet[int]:
-        return frozenset(
-            self._providers[asn] | self._customers[asn] | self._peers[asn]
-        )
+        view = self._fz_neighbors.get(asn)
+        if view is None:
+            view = self._fz_neighbors[asn] = frozenset(
+                self._providers[asn] | self._customers[asn] | self._peers[asn]
+            )
+        return view
+
+    def sorted_providers(self, asn: int) -> Tuple[int, ...]:
+        """Ascending-ASN provider tuple, cached between mutations (the
+        propagation hot loops iterate these thousands of times)."""
+        view = self._sorted_providers.get(asn)
+        if view is None:
+            view = self._sorted_providers[asn] = tuple(sorted(self._providers[asn]))
+        return view
+
+    def sorted_customers(self, asn: int) -> Tuple[int, ...]:
+        view = self._sorted_customers.get(asn)
+        if view is None:
+            view = self._sorted_customers[asn] = tuple(sorted(self._customers[asn]))
+        return view
+
+    def sorted_peers(self, asn: int) -> Tuple[int, ...]:
+        view = self._sorted_peers.get(asn)
+        if view is None:
+            view = self._sorted_peers[asn] = tuple(sorted(self._peers[asn]))
+        return view
 
     def relationship(self, a: int, b: int) -> Optional[Relationship]:
         """The relationship of the a--b edge, or None.  For

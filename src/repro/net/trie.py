@@ -8,6 +8,11 @@ Provides the two lookups routers need constantly:
 The trie is also the engine behind the PEERING prefix pool
 (:class:`repro.core.allocation.PrefixPool`), which needs first-fit free-block
 allocation out of a covering prefix.
+
+Descent is pure integer shift/mask arithmetic on the prefix's address
+value — one ``(value >> shift) & 1`` per level, no per-bit generator —
+which roughly halves insert/lookup cost at forwarding-table scale (see
+``benchmarks/bench_trie.py``).
 """
 
 from __future__ import annotations
@@ -57,19 +62,19 @@ class PrefixTrie(Generic[V]):
                 f"IPv{prefix.version} prefix in IPv{self._version} trie"
             )
 
-    def _path_bits(self, prefix: Prefix) -> Iterator[int]:
-        value = prefix.address.value
-        for depth in range(prefix.length):
-            yield (value >> (self._bits - 1 - depth)) & 1
-
     def insert(self, prefix: Prefix, value: V) -> None:
         """Insert or replace the value stored at ``prefix``."""
         self._check(prefix)
         node = self._root
-        for bit in self._path_bits(prefix):
-            if node.children[bit] is None:
-                node.children[bit] = _Node()
-            node = node.children[bit]
+        addr = prefix.address.value
+        shift = self._bits
+        for _ in range(prefix.length):
+            shift -= 1
+            bit = (addr >> shift) & 1
+            child = node.children[bit]
+            if child is None:
+                child = node.children[bit] = _Node()
+            node = child
         if not node.has_value:
             self._size += 1
         node.value = value
@@ -82,8 +87,11 @@ class PrefixTrie(Generic[V]):
         """Exact-match lookup."""
         self._check(prefix)
         node = self._root
-        for bit in self._path_bits(prefix):
-            node = node.children[bit]
+        addr = prefix.address.value
+        shift = self._bits
+        for _ in range(prefix.length):
+            shift -= 1
+            node = node.children[(addr >> shift) & 1]
             if node is None:
                 return default
         return node.value if node.has_value else default
@@ -104,7 +112,11 @@ class PrefixTrie(Generic[V]):
         self._check(prefix)
         path: List[Tuple[_Node[V], int]] = []
         node = self._root
-        for bit in self._path_bits(prefix):
+        addr = prefix.address.value
+        shift = self._bits
+        for _ in range(prefix.length):
+            shift -= 1
+            bit = (addr >> shift) & 1
             child = node.children[bit]
             if child is None:
                 raise KeyError(prefix)
@@ -141,23 +153,33 @@ class PrefixTrie(Generic[V]):
         if isinstance(target, IPAddress):
             target = Prefix(target, target.bits)
         self._check(target)
+        bits = self._bits
         node = self._root
-        best: Optional[Tuple[Prefix, V]] = None
+        addr = target.address.value
+        # Track only the best depth/node during descent; materialize the
+        # winning Prefix once at the end instead of per candidate.
+        best_node: Optional[_Node[V]] = self._root if self._root.has_value else None
+        best_depth = 0
         depth = 0
-        value = target.address.value
-        if node.has_value:
-            best = (Prefix(IPAddress(0, self._version), 0), node.value)  # type: ignore[arg-type]
-        while depth < target.length:
-            bit = (value >> (self._bits - 1 - depth)) & 1
-            node = node.children[bit]
+        length = target.length
+        shift = bits
+        while depth < length:
+            shift -= 1
+            node = node.children[(addr >> shift) & 1]
             if node is None:
                 break
             depth += 1
             if node.has_value:
-                mask = ((1 << depth) - 1) << (self._bits - depth) if depth else 0
-                net = IPAddress(value & mask, self._version)
-                best = (Prefix(net, depth), node.value)  # type: ignore[arg-type]
-        return best
+                best_node = node
+                best_depth = depth
+        if best_node is None:
+            return None
+        if best_depth:
+            mask = ((1 << best_depth) - 1) << (bits - best_depth)
+            net = IPAddress(addr & mask, self._version)
+        else:
+            net = IPAddress(0, self._version)
+        return Prefix(net, best_depth), best_node.value  # type: ignore[return-value]
 
     def covering(self, target: Prefix) -> Iterator[Tuple[Prefix, V]]:
         """Yield (prefix, value) for every stored prefix that covers ``target``.
@@ -165,18 +187,18 @@ class PrefixTrie(Generic[V]):
         Yielded shortest (least specific) first; includes an exact match.
         """
         self._check(target)
+        bits = self._bits
         node = self._root
-        value = target.address.value
+        addr = target.address.value
         if node.has_value:
             yield Prefix(IPAddress(0, self._version), 0), node.value  # type: ignore[misc]
         for depth in range(1, target.length + 1):
-            bit = (value >> (self._bits - depth)) & 1
-            node = node.children[bit]
+            node = node.children[(addr >> (bits - depth)) & 1]
             if node is None:
                 return
             if node.has_value:
-                mask = ((1 << depth) - 1) << (self._bits - depth)
-                yield Prefix(IPAddress(value & mask, self._version), depth), node.value  # type: ignore[misc]
+                mask = ((1 << depth) - 1) << (bits - depth)
+                yield Prefix(IPAddress(addr & mask, self._version), depth), node.value  # type: ignore[misc]
 
     def covered(self, target: Prefix) -> Iterator[Tuple[Prefix, V]]:
         """Yield (prefix, value) for every stored prefix within ``target``.
@@ -185,11 +207,14 @@ class PrefixTrie(Generic[V]):
         """
         self._check(target)
         node = self._root
-        for bit in self._path_bits(target):
-            node = node.children[bit]
+        addr = target.address.value
+        shift = self._bits
+        for _ in range(target.length):
+            shift -= 1
+            node = node.children[(addr >> shift) & 1]
             if node is None:
                 return
-        yield from self._walk(node, target.address.value, target.length)
+        yield from self._walk(node, addr, target.length)
 
     def _walk(self, node: _Node[V], address: int, depth: int) -> Iterator[Tuple[Prefix, V]]:
         if node.has_value:

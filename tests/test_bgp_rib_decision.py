@@ -154,6 +154,22 @@ class TestDecisionLadder:
         c = route(path=(8, 2), med=5, peer="peer-z")
         assert best_path([a, c], always_compare_med=True)[0] is c
 
+    def test_med_intransitivity_is_order_insensitive(self):
+        # The classic deterministic-MED triple: a beats b on MED (same
+        # neighbor), but c interleaves on a MED-blind tiebreak.  A naive
+        # comparison sort ranks these differently depending on input
+        # order; the grouped ranking must not.
+        a = route(path=(7, 1), med=5, learned_at=1.0)
+        b = route(path=(7, 2), med=50, peer="peer-b", learned_at=0.0)
+        c = route(path=(8, 3), med=0, peer="peer-c", learned_at=0.5)
+        triple = [a, b, c]
+        expected = best_path(triple)
+        assert best_path(list(reversed(triple))) == expected
+        assert best_path([b, a, c]) == expected
+        assert best_path([c, a, b]) == expected
+        # Same-neighbor MED still decides within the group.
+        assert expected.index(a) < expected.index(b)
+
     def test_ebgp_over_ibgp(self):
         e = route(ebgp=True)
         i = route(ebgp=False, peer="peer-b")
