@@ -15,6 +15,11 @@ walks every layer of the robustness subsystem:
 4. the mux dies for good — the client fails over to the usc01 backup,
    carrying its announcements along.
 
+Steps 3-4 are *manual* choreography (scripted restarts, explicit
+failover wiring).  ``examples/self_healing.py`` shows the supervised
+version: ``testbed.supervise()`` installs a watchdog + control journal
+that detect, restart, and restore with zero manual calls.
+
 Run:  python examples/mux_failover.py
 """
 

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""The supervised testbed healing itself — zero manual calls.
+
+``examples/mux_failover.py`` walks the robustness *mechanisms* with the
+operator driving: it schedules the restart, wires the failover.  This
+example installs the supervision layer (``repro.guard``) and then does
+nothing but inject faults and watch:
+
+1. ``testbed.supervise()`` — one call wires circuit breakers, the
+   quarantine manager, the mux watchdog, and the control journal;
+2. a well-behaved client announces a prefix; a misbehaving client
+   starts an update storm;
+3. the storming client's circuit breaker trips (sessions dropped), it
+   re-offends after the half-open probe, and lands in quarantine —
+   withdrawn everywhere, re-admitted only after the backoff expires;
+4. a mux HARD-crashes (in-memory state wiped) and another wedges; the
+   watchdog detects both, restarts them, and the journal replays the
+   well-behaved client's announcements route-for-route;
+5. the quarantine expires, the offender's sessions re-establish, and
+   its announcement returns — the testbed forgave, on schedule.
+
+Nothing after step 2 touches the testbed API: every recovery below is
+the supervisor's own doing.
+
+Run:  python examples/self_healing.py
+"""
+
+from repro.bgp.attributes import ASPath, Origin, PathAttributes
+from repro.core import Testbed
+from repro.core.alerts import Severity
+from repro.faults import FaultPlan
+from repro.guard import BreakerConfig, QuarantineConfig, WatchdogConfig
+from repro.inet.gen import InternetConfig
+
+
+def banner(text: str) -> None:
+    print(f"\n== {text} ==")
+
+
+def main() -> None:
+    banner("Building a supervised testbed")
+    testbed = Testbed.build_default(
+        InternetConfig(n_ases=400, total_prefixes=30_000, seed=7)
+    )
+    engine = testbed.engine
+    engine.seed = 2014
+    supervisor = testbed.supervise(
+        breaker=BreakerConfig(
+            window_seconds=10.0, max_updates_per_window=20,
+            max_flaps_per_window=8, cooldown=20.0, probe_window=10.0,
+        ),
+        quarantine=QuarantineConfig(strike_threshold=2, base_duration=80.0),
+        watchdog=WatchdogConfig(probe_interval=2.0, restart_delay=5.0),
+    )
+    print(f"supervising {len(testbed.servers)} muxes; journal is write-ahead")
+
+    banner("A good citizen and a storm-to-be")
+    good = testbed.register_client("good", researcher="alice")
+    good_router = good.attach_bgp(
+        "gatech01", resilient=True, idle_hold_time=2.0, graceful_restart=True
+    )
+    good_prefix = good.prefixes[0]
+    good_router.originate(good_prefix)
+
+    bad = testbed.register_client("bad", researcher="mallory")
+    bad.attach_bgp("usc01", resilient=True, idle_hold_time=2.0)
+    bad_att = bad.attachments["usc01"]
+    bad_att.router.originate(bad.prefixes[0])
+    engine.run_for(1)
+    print(f"good announces {good_prefix}, bad announces {bad.prefixes[0]}")
+    routes_before = testbed.outcome_for(good_prefix)
+    print(f"good prefix reachable from {len(routes_before.reachable_asns())} ASes")
+
+    banner("Injecting chaos (storm + hard crash + wedge); hands off from here")
+    storm_session = bad_att.sessions[sorted(bad_att.sessions)[0]]
+    storm_attrs = PathAttributes(
+        origin=Origin.IGP, as_path=ASPath(), next_hop=bad_att.tunnel.address
+    )
+    plan = FaultPlan(engine, "chaos")
+    plan.storm_updates(
+        storm_session, bad.prefixes[0], storm_attrs, at=5.0,
+        updates=400, interval=0.25,
+    )
+    plan.crash_mux(testbed.server("gatech01"), at=10.0, hard=True)
+    plan.wedge_mux(testbed.server("wisconsin01"), at=30.0)
+
+    engine.run_for(60)
+    print(f"\nstate at t={engine.now:.0f}:")
+    print(f"  good prefix announced: {good_prefix in testbed.announced_prefixes()}")
+    print(f"  bad client quarantined: {supervisor.quarantine.is_quarantined('bad')}")
+    print(f"  bad prefix announced: {bad.prefixes[0] in testbed.announced_prefixes()}")
+    print(f"  gatech01 healthy: {testbed.server('gatech01').probe()}")
+    print(f"  wisconsin01 healthy: {testbed.server('wisconsin01').probe()}")
+
+    banner("Letting the quarantine run its course")
+    engine.run_for(240)
+    outcome = testbed.outcome_for(good_prefix)
+    identical = all(
+        outcome.as_path(asn) == routes_before.as_path(asn)
+        for asn in testbed.graph.asns()
+    )
+    print(f"good prefix restored route-for-route identical: {identical}")
+    print(f"bad client quarantined: {supervisor.quarantine.is_quarantined('bad')}")
+    print(f"bad prefix announced again: "
+          f"{bad.prefixes[0] in testbed.announced_prefixes()}")
+    print(f"watchdog: {supervisor.watchdog.probes} probes, "
+          f"{supervisor.watchdog.restarts} restarts, "
+          f"{supervisor.watchdog.kills} wedge kills")
+    print(f"journal: {testbed.journal.stats()}")
+
+    banner("The escalation trail (warning and above)")
+    for event in testbed.events.of_severity(Severity.WARNING):
+        print(f"  {event}")
+
+
+if __name__ == "__main__":
+    main()

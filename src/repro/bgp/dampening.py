@@ -110,6 +110,15 @@ class RouteFlapDamper:
         self._bump(key, PENALTY_REANNOUNCE, now)
         return self.is_suppressed(peer, prefix, now)
 
+    def reset_peer(self, peer: str) -> int:
+        """Drop every damping entry for one peer (quarantine release: a
+        re-admitted client starts with a clean penalty slate).  Returns
+        the number of entries cleared."""
+        keys = [key for key in self._state if key[0] == peer]
+        for key in keys:
+            del self._state[key]
+        return len(keys)
+
     def record_attribute_change(self, peer: str, prefix: Prefix, now: float) -> bool:
         self._bump((peer, prefix), PENALTY_ATTRIBUTE_CHANGE, now)
         return self.is_suppressed(peer, prefix, now)

@@ -255,6 +255,19 @@ class BGPSession:
         if self.endpoint is not None:
             self.endpoint.close()
 
+    def drop(self, reason: str = "transport dropped") -> None:
+        """Abruptly kill the transport — no CEASE, no courtesy.
+
+        This is what a supervisor does to a session it no longer trusts
+        (and what a crashing process does to all of them): the peer sees
+        plain transport loss, so graceful-restart semantics apply on its
+        side rather than the explicit-shutdown path of :meth:`stop`.
+        """
+        if self.endpoint is not None and not self.endpoint.closed:
+            self.endpoint.close()  # on_close fires _transport_lost locally too
+        elif self.fsm.state is not State.IDLE:
+            self._transport_lost()
+
     @property
     def established(self) -> bool:
         return self.fsm.established

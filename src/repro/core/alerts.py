@@ -40,12 +40,30 @@ if TYPE_CHECKING:  # pragma: no cover
     from .testbed import Testbed
 
 __all__ = [
+    "Severity",
     "TestbedEvent",
     "EventBus",
     "AlertKind",
     "HijackAlert",
     "HijackDetector",
 ]
+
+
+class Severity(Enum):
+    """Escalation levels for supervision events (repro.guard).
+
+    Emitters pass ``severity="warning"`` etc. as event detail; the enum
+    fixes the vocabulary and the ordering used by
+    :meth:`EventBus.of_severity`.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "critical": 2}[self.value]
 
 
 @dataclass(frozen=True)
@@ -59,6 +77,15 @@ class TestbedEvent:
 
     def detail_dict(self) -> Dict[str, object]:
         return dict(self.detail)
+
+    @property
+    def severity(self) -> Optional[Severity]:
+        """The event's severity tag, if the emitter set one."""
+        raw = self.detail_dict().get("severity")
+        try:
+            return Severity(raw) if isinstance(raw, str) else None
+        except ValueError:
+            return None
 
     def __str__(self) -> str:
         extra = " ".join(f"{k}={v}" for k, v in self.detail)
@@ -96,6 +123,15 @@ class EventBus:
     def of_kind(self, *kinds: str) -> List[TestbedEvent]:
         wanted = set(kinds)
         return [event for event in self.events if event.kind in wanted]
+
+    def of_severity(self, minimum: Severity) -> List[TestbedEvent]:
+        """Severity-tagged events at or above ``minimum`` — the operator's
+        escalation view (quarantines and watchdog kills float to the top)."""
+        return [
+            event
+            for event in self.events
+            if event.severity is not None and event.severity.rank >= minimum.rank
+        ]
 
     def log(self) -> List[Tuple[float, str, str, Tuple[Tuple[str, object], ...]]]:
         """The canonical, comparison-friendly form of the whole log."""

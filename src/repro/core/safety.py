@@ -29,9 +29,10 @@ blocked.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..bgp.attributes import ASPath, is_private_asn
 from ..bgp.dampening import DampeningConfig, RouteFlapDamper
@@ -42,6 +43,7 @@ __all__ = [
     "SafetyVerdict",
     "SafetyDecision",
     "SafetyConfig",
+    "AuditEntry",
     "SafetyEnforcer",
 ]
 
@@ -56,6 +58,10 @@ class SafetyVerdict(Enum):
     DAMPED = "damped"
     RATE_LIMITED = "rate-limited"
     SPOOFED_SOURCE = "spoofed-source"
+    # Supervision-layer refusals (repro.guard), logged here so the audit
+    # trail stays the single chronology of everything a client was denied.
+    QUARANTINED = "quarantined"
+    BREAKER_OPEN = "breaker-open"
 
 
 @dataclass(frozen=True)
@@ -78,6 +84,18 @@ class SafetyConfig:
     allow_spoofing_for: frozenset = frozenset()  # client ids with waivers
 
 
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audit-log line.  ``seq`` is monotonic; when the enforcer is
+    supervised it draws from the control journal's sequence, so audit
+    entries and journal records correlate on one shared timeline."""
+
+    seq: int
+    time: float
+    client_id: str
+    decision: SafetyDecision
+
+
 class SafetyEnforcer:
     """Stateful safety checks shared by all sessions of one server."""
 
@@ -85,7 +103,50 @@ class SafetyEnforcer:
         self.config = config or SafetyConfig()
         self.damper = RouteFlapDamper(self.config.dampening)
         self._windows: Dict[str, Tuple[float, int]] = {}
-        self.audit_log: List[Tuple[float, str, SafetyDecision]] = []
+        self.audit_log: List[AuditEntry] = []
+        self._own_seq = itertools.count()
+        # Supervisor wiring (repro.guard): a shared sequence source and a
+        # violation callback; both optional — the enforcer is standalone
+        # by default.
+        self.seq_source: Optional[Callable[[], int]] = None
+        self.on_violation: Optional[
+            Callable[[str, SafetyDecision, float], None]
+        ] = None
+        self.violations: Dict[str, int] = {}
+
+    # -- audit plumbing ----------------------------------------------------------
+
+    def log_decision(
+        self,
+        client_id: str,
+        decision: SafetyDecision,
+        now: float,
+        count_violation: bool = True,
+    ) -> SafetyDecision:
+        """Append one audit entry (and fire the violation hook for denials).
+
+        ``count_violation=False`` records a denial without charging the
+        client — used for supervision-layer refusals (quarantine/breaker),
+        where the *cause* was already counted when the guard tripped.
+        """
+        seq = self.seq_source() if self.seq_source is not None else next(self._own_seq)
+        self.audit_log.append(AuditEntry(seq, now, client_id, decision))
+        if not decision.allowed and count_violation:
+            self.violations[client_id] = self.violations.get(client_id, 0) + 1
+            if self.on_violation is not None:
+                self.on_violation(client_id, decision, now)
+        return decision
+
+    def violation_count(self, client_id: str) -> int:
+        return self.violations.get(client_id, 0)
+
+    def reset_client(self, client_id: str) -> None:
+        """Wipe per-client safety state (quarantine release): rate-limit
+        window, violation counter, and flap-damping penalties — a
+        re-admitted client must not trip instantly on decayed history."""
+        self._windows.pop(client_id, None)
+        self.violations.pop(client_id, None)
+        self.damper.reset_peer(client_id)
 
     # -- control plane -----------------------------------------------------------
 
@@ -112,8 +173,7 @@ class SafetyEnforcer:
         decision = self._check(
             client_id, prefix, as_path, allocated, testbed_space, now, count_flap
         )
-        self.audit_log.append((now, client_id, decision))
-        return decision
+        return self.log_decision(client_id, decision, now)
 
     def _check(
         self,
@@ -174,9 +234,7 @@ class SafetyEnforcer:
     def check_withdrawal(self, client_id: str, prefix: Prefix, now: float) -> SafetyDecision:
         """Withdrawals are always propagated but feed the damper."""
         self.damper.record_withdrawal(client_id, prefix, now)
-        decision = SafetyDecision(SafetyVerdict.ALLOWED)
-        self.audit_log.append((now, client_id, decision))
-        return decision
+        return self.log_decision(client_id, SafetyDecision(SafetyVerdict.ALLOWED), now)
 
     def _consume_token(self, client_id: str, now: float) -> bool:
         window_start, used = self._windows.get(client_id, (now, 0))
@@ -204,13 +262,12 @@ class SafetyEnforcer:
             SafetyVerdict.SPOOFED_SOURCE,
             f"source {packet.src} outside {client_id}'s prefixes and no waiver",
         )
-        self.audit_log.append((0.0, client_id, decision))
-        return decision
+        return self.log_decision(client_id, decision, 0.0)
 
     # -- reporting -----------------------------------------------------------------
 
     def blocked_count(self) -> int:
-        return sum(1 for _, _, decision in self.audit_log if not decision.allowed)
+        return sum(1 for entry in self.audit_log if not entry.decision.allowed)
 
     def decisions_for(self, client_id: str) -> List[SafetyDecision]:
-        return [d for _, c, d in self.audit_log if c == client_id]
+        return [e.decision for e in self.audit_log if e.client_id == client_id]

@@ -44,9 +44,19 @@ from ..inet.routing import ASRoute
 from .safety import SafetyDecision, SafetyEnforcer, SafetyVerdict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.journal import ControlJournal, SpecTuple
+    from ..guard.supervisor import Supervisor
     from .testbed import Testbed
 
-__all__ = ["MuxMode", "SiteKind", "SiteConfig", "AnnouncementSpec", "PeeringServer"]
+__all__ = [
+    "MuxMode",
+    "SiteKind",
+    "SiteConfig",
+    "AnnouncementSpec",
+    "PeeringServer",
+    "spec_to_tuple",
+    "spec_from_tuple",
+]
 
 
 class MuxMode(Enum):
@@ -83,6 +93,20 @@ class AnnouncementSpec:
     peers: Optional[Tuple[int, ...]] = None
     prepend: int = 0
     poison: Tuple[int, ...] = ()
+
+
+def spec_to_tuple(spec: AnnouncementSpec) -> "SpecTuple":
+    """Serialize for the control journal (plain tuples, JSON-safe)."""
+    return (spec.peers, spec.prepend, spec.poison)
+
+
+def spec_from_tuple(raw: "SpecTuple") -> AnnouncementSpec:
+    peers, prepend, poison = raw
+    return AnnouncementSpec(
+        peers=tuple(peers) if peers is not None else None,
+        prepend=int(prepend),
+        poison=tuple(poison),
+    )
 
 
 class _ClientAttachment:
@@ -133,8 +157,12 @@ class PeeringServer:
         self._next_tunnel_host = 1
         self.updates_relayed = 0
         self.alive = True
+        self.wedged = False  # alive-but-unresponsive (hung process)
         self.crash_count = 0
         self._reprovision_seq = 0
+        # Supervision wiring (set by repro.guard.Supervisor.adopt_server).
+        self.guard: Optional["Supervisor"] = None
+        self.journal: Optional["ControlJournal"] = None
 
     # -- interdomain attachment --------------------------------------------------
 
@@ -209,10 +237,22 @@ class PeeringServer:
         Returns ``(client_tunnel_endpoint, {peer_asn: channel_endpoint})``;
         in BIRD mode the dict has a single entry keyed by 0.
         """
-        if not self.alive:
+        if not self.alive or self.wedged:
             raise ValueError(f"mux {self.site.name!r} is down")
         if client_id in self._clients:
             raise ValueError(f"client {client_id!r} already attached")
+        if self.guard is not None and not self.guard.allows_connect(client_id):
+            raise ValueError(f"client {client_id!r} is quarantined")
+        selected = set(peer_asns) if peer_asns is not None else set(self.neighbor_asns)
+        unknown = selected - self.neighbor_asns
+        if unknown:
+            raise ValueError(f"not neighbors at {self.site.name}: {sorted(unknown)}")
+        # Validation done: journal the attachment write-ahead, before any
+        # state it describes is built.
+        if self.journal is not None:
+            self.journal.append(
+                self.engine.now, "connect", server=self.site.name, client=client_id
+            )
         local_addr = self._tunnel_address()
         remote_addr = self._tunnel_address()
         local = TunnelEndpoint(local_addr, name=f"{self.site.name}:{client_id}:server")
@@ -222,11 +262,6 @@ class PeeringServer:
 
         attachment = _ClientAttachment(client_id, mode, tunnel, local)
         self._clients[client_id] = attachment
-
-        selected = set(peer_asns) if peer_asns is not None else set(self.neighbor_asns)
-        unknown = selected - self.neighbor_asns
-        if unknown:
-            raise ValueError(f"not neighbors at {self.site.name}: {sorted(unknown)}")
 
         endpoints: Dict[int, Endpoint] = {}
         if mode is MuxMode.QUAGGA:
@@ -291,46 +326,95 @@ class PeeringServer:
         attachment = self._clients.pop(client_id, None)
         if attachment is None:
             return
+        if self.journal is not None:
+            self.journal.append(
+                self.engine.now, "disconnect", server=self.site.name, client=client_id
+            )
         for session in attachment.sessions.values():
             session.stop("client disconnected")
         if attachment.bird_session is not None:
             attachment.bird_session.stop("client disconnected")
         attachment.tunnel.take_down()
         for prefix in list(attachment.announcements):
-            self.testbed.retract(self, client_id, prefix)
+            # record=False: the disconnect record subsumes these in replay.
+            self.testbed.retract(self, client_id, prefix, record=False)
+
+    def drop_client_sessions(self, client_id: str) -> int:
+        """Abruptly sever every BGP session of one client (supervision
+        teardown: breaker trip or quarantine).  The attachment itself is
+        kept — a re-admitted client re-provisions channels through
+        :meth:`reconnect_endpoint`.  Returns the number of sessions
+        dropped."""
+        attachment = self._clients.get(client_id)
+        if attachment is None:
+            return 0
+        dropped = 0
+        for session in attachment.sessions.values():
+            if session.endpoint is not None and not session.endpoint.closed:
+                session.drop("supervision teardown")
+                dropped += 1
+        bird = attachment.bird_session
+        if bird is not None and bird.endpoint is not None and not bird.endpoint.closed:
+            bird.drop("supervision teardown")
+            dropped += 1
+        return dropped
 
     # -- crash / restart ---------------------------------------------------------
 
-    def crash(self) -> None:
+    def crash(self, hard: bool = False) -> None:
         """The mux process dies abruptly: sessions drop without CEASE,
         tunnels go down, and the site's announcements leave the Internet.
 
-        Client-side attachment state is retained so :meth:`restart` (and
-        reconnecting clients) can re-provision without re-registration —
-        mirroring a machine reboot rather than a decommission.
+        ``hard=False`` models a polite reboot: attachment state (including
+        announcement specs) survives in "process memory" for
+        :meth:`restart`.  ``hard=True`` models a real crash (power loss,
+        ``kill -9`` of a wedged process): in-memory announcement maps are
+        LOST, and :meth:`restart` can rebuild them only from the control
+        journal.
         """
         if not self.alive:
             return
         self.alive = False
+        self.wedged = False  # a dead process is no longer hung
         self.crash_count += 1
         for attachment in self._clients.values():
             for session in attachment.sessions.values():
-                if session.endpoint is not None:
-                    session.endpoint.close()
+                session.drop("mux crashed")
             bird = attachment.bird_session
-            if bird is not None and bird.endpoint is not None:
-                bird.endpoint.close()
+            if bird is not None:
+                bird.drop("mux crashed")
             attachment.tunnel.take_down()
             for prefix in list(attachment.announcements):
-                # Registry only: the attachment keeps its announcement spec
-                # so the restarted mux can re-announce it.
-                self.testbed.retract(self, attachment.client_id, prefix)
+                # Registry only, and record=False: a crash is not a client
+                # withdrawal — the journal keeps recording the client's
+                # intent so restart can restore it.
+                self.testbed.retract(self, attachment.client_id, prefix, record=False)
+            if hard:
+                attachment.announcements.clear()
         self.testbed.events.emit(
-            "mux-crash", source=self.site.name, clients=len(self._clients)
+            "mux-crash", source=self.site.name, clients=len(self._clients), hard=hard
         )
+
+    def wedge(self) -> None:
+        """The mux process hangs: still claims to be alive (sessions stay
+        up, ports open) but processes nothing.  Only the watchdog's
+        liveness probes can tell; it force-crashes the process hard."""
+        if self.alive:
+            self.wedged = True  # a hung process announces nothing, not even this
+
+    def probe(self) -> bool:
+        """Liveness probe (the watchdog's health check): False for a dead
+        *or* wedged process."""
+        return self.alive and not self.wedged
 
     def restart(self) -> None:
         """The mux comes back: tunnels up, announcements re-propagated.
+
+        When a control journal is wired (supervised testbed), announcement
+        state is rebuilt from the journal's replay — deterministic even
+        after a *hard* crash wiped process memory, and without waiting for
+        any client to reconnect.  Unsupervised servers fall back to the
+        retained in-memory specs (PR 1 behaviour).
 
         BGP sessions are *not* resurrected here — each client re-establishes
         through its own backoff schedule via :meth:`reconnect_endpoint`,
@@ -338,12 +422,27 @@ class PeeringServer:
         if self.alive:
             return
         self.alive = True
+        self.wedged = False
+        journal_state = (
+            self.journal.server_state(self.site.name) if self.journal is not None else None
+        )
         for attachment in self._clients.values():
             attachment.tunnel.bring_up()
+            if journal_state is not None:
+                attachment.announcements = {
+                    Prefix(prefix_str): spec_from_tuple(raw)
+                    for prefix_str, raw in journal_state.get(
+                        attachment.client_id, {}
+                    ).items()
+                }
             for prefix, spec in attachment.announcements.items():
-                self.testbed.announce(self, attachment.client_id, prefix, spec)
+                # record=False: restoring journaled intent, not a new action.
+                self.testbed.announce(self, attachment.client_id, prefix, spec, record=False)
         self.testbed.events.emit(
-            "mux-restart", source=self.site.name, clients=len(self._clients)
+            "mux-restart",
+            source=self.site.name,
+            clients=len(self._clients),
+            journal_replay=journal_state is not None,
         )
 
     def reconnect_endpoint(self, client_id: str, key: int) -> Optional[Endpoint]:
@@ -352,11 +451,18 @@ class PeeringServer:
         ``key`` is the peer ASN (QUAGGA mode) or 0 (BIRD mode) — the same
         keys :meth:`connect_client` returned.  Returns the client's end of
         the new channel, or ``None`` while the mux is down (the client
-        keeps backing off and retries later)."""
-        if not self.alive:
+        keeps backing off and retries later).
+
+        Supervision gate: a quarantined client, or one whose breaker is
+        OPEN, is refused here too — otherwise auto-reconnect would defeat
+        session teardown by pulling a fresh channel and implicit-starting
+        on its own OPEN."""
+        if not self.alive or self.wedged:
             return None
         attachment = self._clients.get(client_id)
         if attachment is None:
+            return None
+        if self.guard is not None and not self.guard.allows_reprovision(self, client_id):
             return None
         session = attachment.bird_session if key == 0 else attachment.sessions.get(key)
         if session is None:
@@ -405,22 +511,51 @@ class PeeringServer:
         """A client spoke BGP at us: vet and translate into the substrate."""
         client_id = attachment.client_id
         now = self.engine.now
+        if self.wedged:
+            return  # a hung process reads nothing off the wire
+        if self.guard is not None and not self.guard.admit_update(self, client_id, now):
+            # Quarantined or breaker-refused: the message is dropped and
+            # audited; enforcement (session teardown) is the guard's job.
+            self.safety.log_decision(
+                client_id,
+                SafetyDecision(
+                    SafetyVerdict.BREAKER_OPEN
+                    if not self.guard.is_quarantined(client_id)
+                    else SafetyVerdict.QUARANTINED,
+                    "update refused by supervision layer",
+                ),
+                now,
+                count_violation=False,
+            )
+            return
         allocated = self.testbed.allocated_prefixes(client_id)
 
         for path_id, prefix in update.withdrawn:
             target_peer = self._resolve_peer(attachment, peer_asn, path_id)
             self.safety.check_withdrawal(client_id, prefix, now)
+            if self.guard is not None:
+                self.guard.record_flap(self, client_id, now)
             self._retract_via_peer(attachment, prefix, target_peer)
 
         if update.attributes is not None:
             as_path = update.attributes.as_path
             community_peers = self._community_targets(update.attributes)
             for path_id, prefix in update.nlri:
+                if self.guard is not None and self.guard.is_blocked(self, client_id):
+                    break  # breaker/containment fired mid-update; stop admitting
                 target_peer = self._resolve_peer(attachment, peer_asn, path_id)
                 # A prefix already announced by this client is being
                 # extended to another peer session: validate but do not
                 # recharge the rate limiter / flap damper.
                 is_new = prefix not in attachment.announcements
+                if (
+                    is_new
+                    and self.guard is not None
+                    and not self.guard.admit_prefix_count(
+                        self, client_id, len(attachment.announcements) + 1, now
+                    )
+                ):
+                    continue
                 decision = self.safety.check_announcement(
                     client_id,
                     prefix,
@@ -526,6 +661,30 @@ class PeeringServer:
             unknown = set(spec.peers) - self.neighbor_asns
             if unknown:
                 raise ValueError(f"not neighbors at {self.site.name}: {sorted(unknown)}")
+        now = self.engine.now
+        if self.guard is not None:
+            if self.guard.is_quarantined(client_id):
+                return self.safety.log_decision(
+                    client_id,
+                    SafetyDecision(
+                        SafetyVerdict.QUARANTINED,
+                        f"client {client_id!r} is quarantined",
+                    ),
+                    now,
+                    count_violation=False,
+                )
+            is_new = prefix not in attachment.announcements
+            count = len(attachment.announcements) + (1 if is_new else 0)
+            if not self.guard.admit_prefix_count(self, client_id, count, now):
+                return self.safety.log_decision(
+                    client_id,
+                    SafetyDecision(
+                        SafetyVerdict.BREAKER_OPEN,
+                        "announcement refused: circuit breaker open",
+                    ),
+                    now,
+                    count_violation=False,
+                )
         decision = self.safety.check_announcement(
             client_id,
             prefix,
@@ -542,6 +701,8 @@ class PeeringServer:
     def withdraw(self, client_id: str, prefix: Prefix) -> None:
         attachment = self._require_client(client_id)
         self.safety.check_withdrawal(client_id, prefix, self.engine.now)
+        if self.guard is not None:
+            self.guard.record_flap(self, client_id, self.engine.now)
         if prefix in attachment.announcements:
             attachment.announcements.pop(prefix)
             self.testbed.retract(self, client_id, prefix)
@@ -574,6 +735,8 @@ class PeeringServer:
         ``destination_asn``) down the client's sessions, preserving
         per-peer separation.  Returns the number of routes sent."""
         attachment = self._require_client(client_id)
+        if not self.alive or self.wedged:
+            return 0  # a dead/hung process relays nothing
         routes = self.routes_toward(destination_asn)
         sent = 0
         for peer_asn, route in routes.items():

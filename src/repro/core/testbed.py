@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..inet.dataplane import DataPlane, Delivery, DeliveryStatus
 from ..inet.engine import PropagationEngine
@@ -30,7 +30,14 @@ from ..sim.engine import Engine
 from .alerts import EventBus
 from .allocation import PrefixPool
 from .experiment import AdvisoryBoard, Experiment, ExperimentError, ExperimentStatus
-from .server import AnnouncementSpec, MuxMode, PeeringServer, SiteConfig, SiteKind
+from .server import AnnouncementSpec, MuxMode, PeeringServer, SiteConfig, SiteKind, spec_to_tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..guard.breaker import BreakerConfig
+    from ..guard.journal import ControlJournal
+    from ..guard.quarantine import QuarantineConfig
+    from ..guard.supervisor import Supervisor
+    from ..guard.watchdog import WatchdogConfig
 
 __all__ = ["Testbed", "PEERING_ASN", "PEERING_SUPERNET"]
 
@@ -74,6 +81,9 @@ class Testbed:
         # work automatically.
         self.propagation = PropagationEngine(self.graph, cache_size=4096)
         self._next_server_addr = 1
+        # Supervision layer (repro.guard), wired by :meth:`supervise`.
+        self.guard: Optional["Supervisor"] = None
+        self.journal: Optional["ControlJournal"] = None
 
         if asn not in self.graph:
             self.graph.add_as(
@@ -171,10 +181,36 @@ class Testbed:
         else:
             server.join_ixp()
         self.servers[site.name] = server
+        if self.guard is not None:
+            self.guard.adopt_server(server)
         return server
 
     def server(self, name: str) -> PeeringServer:
         return self.servers[name]
+
+    def supervise(
+        self,
+        breaker: Optional["BreakerConfig"] = None,
+        quarantine: Optional["QuarantineConfig"] = None,
+        watchdog: Optional["WatchdogConfig"] = None,
+        journal: Optional["ControlJournal"] = None,
+    ) -> "Supervisor":
+        """Wire up and start the supervision layer (repro.guard): circuit
+        breakers on every client session, testbed-wide quarantine, the
+        server watchdog, and crash-consistent control journaling.
+
+        Idempotent: returns the existing supervisor if already wired."""
+        if self.guard is not None:
+            return self.guard
+        from ..guard.supervisor import Supervisor
+
+        return Supervisor(
+            self,
+            breaker=breaker,
+            quarantine=quarantine,
+            watchdog=watchdog,
+            journal=journal,
+        ).start()
 
     # -- experiments & clients ------------------------------------------------------
 
@@ -271,10 +307,16 @@ class Testbed:
         client_id: str,
         prefix: Prefix,
         spec: AnnouncementSpec,
+        record: bool = True,
     ) -> None:
         """Record (and propagate) that ``client_id`` announces ``prefix``
         from ``server`` with ``spec``.  Isolation: a prefix may only be
-        announced by the experiment that owns it."""
+        announced by the experiment that owns it.
+
+        ``record=False`` skips the control journal: used when *restoring*
+        journaled intent (mux restart / watchdog repair), which must not
+        journal itself as a fresh client action.
+        """
         experiment = self.experiment_of(client_id)
         experiment.require_active()
         if not experiment.owns(prefix):
@@ -287,13 +329,46 @@ class Testbed:
                 raise ExperimentError(
                     f"{prefix} is already announced by {other_client!r} via {other_server}"
                 )
+        # Write-ahead: validated, journaled, then applied.
+        if record and self.journal is not None:
+            self.journal.append(
+                self.engine.now,
+                "announce",
+                server=server.site.name,
+                client=client_id,
+                prefix=str(prefix),
+                spec=spec_to_tuple(spec),
+            )
         holders[server.site.name] = (client_id, spec)
         self._repropagate(prefix)
 
-    def retract(self, server: PeeringServer, client_id: str, prefix: Prefix) -> None:
+    def retract(
+        self,
+        server: PeeringServer,
+        client_id: str,
+        prefix: Prefix,
+        record: bool = True,
+    ) -> None:
+        """Remove one server's announcement of ``prefix``.
+
+        ``record=False`` keeps the control journal untouched: crashes and
+        quarantine containment retract *infrastructure* state, not client
+        intent — the journal must still say "client X wants P announced"
+        so recovery can restore it (or the quarantine record can void it).
+        """
         holders = self._announced.get(prefix)
         if not holders:
             return
+        if server.site.name not in holders:
+            return
+        if record and self.journal is not None:
+            self.journal.append(
+                self.engine.now,
+                "withdraw",
+                server=server.site.name,
+                client=client_id,
+                prefix=str(prefix),
+            )
         holders.pop(server.site.name, None)
         if holders:
             self._repropagate(prefix)
@@ -397,7 +472,7 @@ class Testbed:
     # -- reporting -------------------------------------------------------------------------------
 
     def summary(self) -> Dict[str, object]:
-        return {
+        summary: Dict[str, object] = {
             "asn": self.asn,
             "servers": len(self.servers),
             "sites": sorted(self.servers),
@@ -406,3 +481,6 @@ class Testbed:
             "pool_free_slash24": self.pool.free_count(),
             "propagation": self.propagation.stats(),
         }
+        if self.guard is not None:
+            summary["guard"] = self.guard.stats()
+        return summary

@@ -113,14 +113,58 @@ class FaultPlan:
         server: "PeeringServer",
         at: float,
         down_for: Optional[float] = None,
+        hard: bool = False,
     ) -> "FaultPlan":
         """Kill a mux at ``at``; if ``down_for`` is given, restart it that
-        many seconds later."""
-        self._at(at, "crash", server.site.name, server.crash)
+        many seconds later.  ``hard=True`` models power loss: in-memory
+        announcement state is wiped, so recovery needs the control journal
+        (omit ``down_for`` under a watchdog — it restarts the mux itself).
+        """
+        self._at(at, "crash-hard" if hard else "crash", server.site.name,
+                 lambda: server.crash(hard=hard))
         if down_for is not None:
             self._at(at + down_for, "restart", server.site.name, server.restart)
         return self
 
+    def wedge_mux(self, server: "PeeringServer", at: float) -> "FaultPlan":
+        """Hang a mux process at ``at``: it stays "alive" but stops
+        processing.  Only a watchdog's liveness probes will notice."""
+        self._at(at, "wedge", server.site.name, server.wedge)
+        return self
+
     def restart_mux(self, server: "PeeringServer", at: float) -> "FaultPlan":
         self._at(at, "restart", server.site.name, server.restart)
+        return self
+
+    # -- misbehaving-client scenarios --------------------------------------------
+
+    def storm_updates(
+        self,
+        session,
+        prefix,
+        attributes,
+        at: float,
+        updates: int = 100,
+        interval: float = 0.5,
+    ) -> "FaultPlan":
+        """A misbehaving speaker floods announce/withdraw churn for one
+        prefix over ``session`` — the update storm a circuit breaker
+        exists to absorb.  Stops silently once the session is torn down
+        (which is exactly what the supervision layer should cause)."""
+
+        def one(i: int) -> None:
+            if not session.established:
+                return  # already cut off; nothing reaches the mux
+            if i % 2 == 0:
+                session.announce([prefix], attributes)
+            else:
+                session.withdraw([prefix])
+
+        for i in range(updates):
+            self._at(
+                at + i * interval,
+                "storm-update",
+                session.config.description,
+                lambda i=i: one(i),
+            )
         return self

@@ -1,0 +1,31 @@
+"""repro.guard — the supervision layer (watchdog, breakers, quarantine, journal).
+
+The testbed's self-healing machinery: per-session circuit breakers with
+exponential re-admit probes, a testbed-wide client quarantine manager, a
+server watchdog that detects crashed/wedged muxes and orchestrates
+restart + repair, and a crash-consistent control journal that lets a
+restarted mux rebuild its announcement state deterministically.
+
+Entry point: ``Testbed.supervise()`` (or construct a
+:class:`Supervisor` directly and call :meth:`Supervisor.start`).
+"""
+
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .journal import ControlJournal, JournalRecord, JournalSnapshot
+from .quarantine import QuarantineConfig, QuarantineManager
+from .supervisor import Supervisor
+from .watchdog import Watchdog, WatchdogConfig
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "ControlJournal",
+    "JournalRecord",
+    "JournalSnapshot",
+    "QuarantineConfig",
+    "QuarantineManager",
+    "Supervisor",
+    "Watchdog",
+    "WatchdogConfig",
+]

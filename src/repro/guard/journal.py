@@ -1,0 +1,265 @@
+"""Crash-consistent control journaling.
+
+The testbed's authoritative control state — which client announces which
+prefix from which server, who is quarantined — lives in mux process
+memory.  A hard crash loses it; PR 1's recovery path papered over that by
+*retaining* process memory across :meth:`~repro.core.server.PeeringServer.crash`,
+which models a polite reboot, not a crash.
+
+:class:`ControlJournal` is the production answer: an append-only
+write-ahead log of control actions (connect / announce / withdraw /
+disconnect / quarantine / release), each carrying a **monotonic sequence
+number** shared with the safety audit log so operators can correlate "the
+journal says client X announced P at seq 812" with "the enforcer blocked
+X at seq 813".
+
+Write-ahead discipline (the crash-consistency invariant):
+
+* a record is appended **after** validation but **before** the state
+  mutation it describes — so a crash between append and apply is healed
+  by replay, and a rejected action never reaches the journal;
+* replay is **idempotent**: applying a record to state that already
+  reflects it is a no-op (announce overwrites, withdraw of an absent
+  prefix is ignored);
+* :meth:`snapshot` compacts the log into a state snapshot plus an empty
+  tail; **replay(snapshot + tail) == replay(full log)** for every prefix
+  of the action stream (asserted by ``tests/test_guard.py``).
+
+The journal is owned by the supervisor (conceptually: durable storage
+outside the mux process), so a mux that crashes *hard* — losing its
+in-memory announcement maps — deterministically rebuilds
+``announcements_for()`` from :meth:`server_state` on restart, without
+waiting for any client to reconnect and re-announce.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["JournalRecord", "JournalSnapshot", "ControlJournal"]
+
+# Serialized AnnouncementSpec: (peers or None, prepend, poison).
+SpecTuple = Tuple[Optional[Tuple[int, ...]], int, Tuple[int, ...]]
+
+# server -> client -> prefix(str) -> spec
+ServerState = Dict[str, Dict[str, Dict[str, SpecTuple]]]
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One control action.  ``seq`` is globally monotonic."""
+
+    seq: int
+    time: float
+    action: str  # connect | disconnect | announce | withdraw | quarantine | release
+    server: str = ""  # empty for testbed-wide actions (quarantine/release)
+    client: str = ""
+    prefix: str = ""
+    spec: Optional[SpecTuple] = None
+
+    def to_line(self) -> str:
+        """The wire form: one JSON object per line (the WAL file format)."""
+        body: Dict[str, object] = {
+            "seq": self.seq,
+            "time": self.time,
+            "action": self.action,
+        }
+        if self.server:
+            body["server"] = self.server
+        if self.client:
+            body["client"] = self.client
+        if self.prefix:
+            body["prefix"] = self.prefix
+        if self.spec is not None:
+            peers, prepend, poison = self.spec
+            body["spec"] = {
+                "peers": list(peers) if peers is not None else None,
+                "prepend": prepend,
+                "poison": list(poison),
+            }
+        return json.dumps(body, sort_keys=True)
+
+    @classmethod
+    def from_line(cls, line: str) -> "JournalRecord":
+        body = json.loads(line)
+        spec: Optional[SpecTuple] = None
+        if "spec" in body:
+            raw = body["spec"]
+            peers = tuple(raw["peers"]) if raw["peers"] is not None else None
+            spec = (peers, int(raw["prepend"]), tuple(raw["poison"]))
+        return cls(
+            seq=int(body["seq"]),
+            time=float(body["time"]),
+            action=str(body["action"]),
+            server=str(body.get("server", "")),
+            client=str(body.get("client", "")),
+            prefix=str(body.get("prefix", "")),
+            spec=spec,
+        )
+
+
+@dataclass
+class JournalSnapshot:
+    """Compacted journal state as of ``seq``."""
+
+    seq: int
+    time: float
+    announcements: ServerState = field(default_factory=dict)
+    attached: Dict[str, Tuple[str, ...]] = field(default_factory=dict)  # server -> clients
+    quarantined: Tuple[str, ...] = ()
+
+
+class ControlJournal:
+    """Append-only control WAL with snapshot + deterministic replay."""
+
+    def __init__(self, seq_start: int = 0) -> None:
+        self._seq = itertools.count(seq_start)
+        self.records: List[JournalRecord] = []
+        self.snapshot_state: Optional[JournalSnapshot] = None
+        self.appended = 0  # lifetime count, survives compaction
+
+    # -- sequencing ----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """The shared monotonic sequence.  The safety audit log draws from
+        the same source when wired by the supervisor, so audit entries and
+        journal records interleave on one timeline."""
+        return next(self._seq)
+
+    # -- appending -----------------------------------------------------------
+
+    def append(
+        self,
+        time: float,
+        action: str,
+        server: str = "",
+        client: str = "",
+        prefix: str = "",
+        spec: Optional[SpecTuple] = None,
+    ) -> JournalRecord:
+        record = JournalRecord(
+            seq=self.next_seq(),
+            time=time,
+            action=action,
+            server=server,
+            client=client,
+            prefix=prefix,
+            spec=spec,
+        )
+        self.records.append(record)
+        self.appended += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- replay --------------------------------------------------------------
+
+    @staticmethod
+    def _apply(
+        state: ServerState,
+        attached: Dict[str, Set[str]],
+        quarantined: Set[str],
+        record: JournalRecord,
+    ) -> None:
+        """Idempotent application of one record to accumulated state."""
+        action = record.action
+        if action == "connect":
+            attached.setdefault(record.server, set()).add(record.client)
+            state.setdefault(record.server, {}).setdefault(record.client, {})
+        elif action == "disconnect":
+            attached.get(record.server, set()).discard(record.client)
+            state.get(record.server, {}).pop(record.client, None)
+        elif action == "announce":
+            assert record.spec is not None
+            state.setdefault(record.server, {}).setdefault(record.client, {})[
+                record.prefix
+            ] = record.spec
+        elif action == "withdraw":
+            state.get(record.server, {}).get(record.client, {}).pop(
+                record.prefix, None
+            )
+        elif action == "quarantine":
+            quarantined.add(record.client)
+            for clients in state.values():
+                clients.get(record.client, {}).clear()
+        elif action == "release":
+            quarantined.discard(record.client)
+        # Unknown actions are ignored: forward-compatible replay.
+
+    def replay(self) -> JournalSnapshot:
+        """Deterministically fold snapshot + tail into current state."""
+        state: ServerState = {}
+        attached: Dict[str, Set[str]] = {}
+        quarantined: Set[str] = set()
+        seq = -1
+        time = 0.0
+        base = self.snapshot_state
+        if base is not None:
+            seq, time = base.seq, base.time
+            for server, clients in base.announcements.items():
+                state[server] = {c: dict(p) for c, p in clients.items()}
+            for server, clients in base.attached.items():
+                attached[server] = set(clients)
+            quarantined = set(base.quarantined)
+        for record in self.records:
+            self._apply(state, attached, quarantined, record)
+            seq, time = record.seq, record.time
+        return JournalSnapshot(
+            seq=seq,
+            time=time,
+            announcements=state,
+            attached={s: tuple(sorted(c)) for s, c in attached.items()},
+            quarantined=tuple(sorted(quarantined)),
+        )
+
+    def server_state(self, server: str) -> Dict[str, Dict[str, SpecTuple]]:
+        """Replayed announcement state for one server:
+        ``{client: {prefix: spec}}`` — what a restarted mux rebuilds."""
+        return {
+            client: dict(prefixes)
+            for client, prefixes in self.replay().announcements.get(server, {}).items()
+        }
+
+    def quarantined_clients(self) -> Tuple[str, ...]:
+        return self.replay().quarantined
+
+    # -- compaction ----------------------------------------------------------
+
+    def snapshot(self) -> JournalSnapshot:
+        """Compact: fold every record into the snapshot and truncate the
+        tail.  Replay before and after compaction is identical."""
+        snap = self.replay()
+        self.snapshot_state = snap
+        self.records = []
+        return snap
+
+    # -- persistence-shaped helpers (tested round-trip) -----------------------
+
+    def dump_lines(self) -> List[str]:
+        return [record.to_line() for record in self.records]
+
+    @classmethod
+    def load_lines(cls, lines: Iterator[str]) -> "ControlJournal":
+        journal = cls()
+        for line in lines:
+            if not line.strip():
+                continue
+            record = JournalRecord.from_line(line)
+            journal.records.append(record)
+            journal.appended += 1
+        if journal.records:
+            journal._seq = itertools.count(journal.records[-1].seq + 1)
+        return journal
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "records": len(self.records),
+            "appended": self.appended,
+            "snapshot_seq": -1 if self.snapshot_state is None else self.snapshot_state.seq,
+        }
