@@ -32,6 +32,7 @@ __all__ = [
     "write_update",
     "write_table_dump",
     "read_records",
+    "read_table_dump",
 ]
 
 MRT_BGP4MP = 16
@@ -151,6 +152,87 @@ def read_records(data: bytes) -> Iterator[MrtRecord]:
             raise ValueError("truncated MRT record body")
         yield MrtRecord(timestamp, rtype, subtype, data[i : i + length])
         i += length
+
+
+def read_table_dump(data: bytes) -> List[Route]:
+    """Decode a TABLE_DUMP_V2 stream back into :class:`Route` entries.
+
+    The inverse of :func:`write_table_dump`: a PEER_INDEX_TABLE record
+    establishes the peer list, and each RIB_IPV4_UNICAST record yields one
+    Route per entry.  Raises :class:`ValueError` on malformed input (the
+    round-trip regression test feeds this from our own writer, but a
+    reader must not crash on garbage either).
+    """
+    peers: List[Tuple[int, str]] = []
+    routes: List[Route] = []
+    for record in read_records(data):
+        if record.type != MRT_TABLE_DUMP_V2:
+            continue
+        if record.subtype == TD2_PEER_INDEX:
+            peers = _decode_peer_index(record.data)
+        elif record.subtype == TD2_RIB_IPV4_UNICAST:
+            if not peers:
+                raise ValueError("RIB record before PEER_INDEX_TABLE")
+            routes.extend(
+                _decode_rib_record(record.timestamp, record.data, peers)
+            )
+    return routes
+
+
+def _decode_peer_index(data: bytes) -> List[Tuple[int, str]]:
+    offset = 4  # collector id
+    (name_len,) = struct.unpack_from("!H", data, offset)
+    offset += 2 + name_len
+    (count,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    peers: List[Tuple[int, str]] = []
+    for _ in range(count):
+        peer_type = data[offset]
+        offset += 1
+        # We only ever write type 2 (AS4, IPv4 BGP id + address).
+        if peer_type != 2:
+            raise ValueError(f"unsupported peer type {peer_type}")
+        offset += 4  # BGP id (unused by our writer)
+        address = IPAddress.from_packed(data[offset : offset + 4])
+        offset += 4
+        (asn,) = struct.unpack_from("!I", data, offset)
+        offset += 4
+        peers.append((asn, str(address)))
+    return peers
+
+
+def _decode_rib_record(
+    timestamp: int, data: bytes, peers: Sequence[Tuple[int, str]]
+) -> List[Route]:
+    _seq, plen = struct.unpack_from("!IB", data, 0)
+    offset = 5
+    nbytes = (plen + 7) // 8
+    packed = data[offset : offset + nbytes] + b"\x00" * (4 - nbytes)
+    prefix = Prefix(IPAddress.from_packed(packed), plen)
+    offset += nbytes
+    (count,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    from .messages import _decode_attributes
+
+    routes: List[Route] = []
+    for _ in range(count):
+        idx, learned_at, attr_len = struct.unpack_from("!HIH", data, offset)
+        offset += 8
+        if idx >= len(peers):
+            raise ValueError(f"peer index {idx} out of range")
+        attributes = _decode_attributes(data[offset : offset + attr_len])
+        offset += attr_len
+        asn, peer_id = peers[idx]
+        routes.append(
+            Route(
+                prefix=prefix,
+                attributes=attributes,
+                peer_asn=asn or None,
+                peer_id=peer_id,
+                learned_at=float(learned_at),
+            )
+        )
+    return routes
 
 
 def decode_update_record(record: MrtRecord) -> Tuple[int, int, UpdateMessage]:

@@ -126,6 +126,14 @@ class BGPSession:
         self.on_down: Optional[Callable[["BGPSession", str], None]] = None
         self.on_route_refresh: Optional[Callable[["BGPSession"], None]] = None
         self.transport_factory: Optional[Callable[[], Optional[Endpoint]]] = None
+        # Passive monitoring taps (e.g. repro.telemetry's BMP-style route
+        # monitor): called with ("established"|"down"|"update-received",
+        # update-or-None) *before* the owner callbacks, so the wire view
+        # is recorded even if a handler raises.  Taps observe; they must
+        # not drive the session.
+        self.taps: List[
+            Callable[["BGPSession", str, Optional[UpdateMessage]], None]
+        ] = []
 
         self.negotiated_hold_time = config.hold_time
         self.add_path_active = False
@@ -272,6 +280,12 @@ class BGPSession:
     def established(self) -> bool:
         return self.fsm.established
 
+    def _notify_taps(
+        self, event: str, update: Optional[UpdateMessage] = None
+    ) -> None:
+        for tap in self.taps:
+            tap(self, event, update)
+
     # -- sending -----------------------------------------------------------
 
     def announce(
@@ -411,6 +425,8 @@ class BGPSession:
             self.fsm.fire(FsmEvent.KEEPALIVE_RECEIVED)
             self.established_count += 1
             self.backoff_level = 0  # healthy again: reset the backoff ladder
+            if self.taps:
+                self._notify_taps("established")
             if self.on_established is not None:
                 self.on_established(self)
         elif self.fsm.state == State.ESTABLISHED:
@@ -427,6 +443,8 @@ class BGPSession:
         self.updates_received += 1
         if self.negotiated_hold_time > 0:
             self._hold_timer.start(self.negotiated_hold_time)
+        if self.taps:
+            self._notify_taps("update-received", message)
         if self.on_update is not None:
             self.on_update(self, message)
 
@@ -484,6 +502,8 @@ class BGPSession:
         self.last_down_graceful = graceful and self.gr_active
         self._hold_timer.stop()
         self._keepalive_timer.stop()
+        if was_established and self.taps:
+            self._notify_taps("down")
         if was_established and self.on_down is not None:
             self.on_down(self, reason)
         if reconnect and self.config.auto_reconnect:

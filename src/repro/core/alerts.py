@@ -106,11 +106,19 @@ class EventBus:
         self._subscribers: List[Callable[[TestbedEvent], None]] = []
 
     def emit(self, kind: str, source: str = "", **detail) -> TestbedEvent:
+        # Emitters may pass severity as the enum or its string value; the
+        # stored detail is normalized to the string so logs stay
+        # comparison-friendly and ``TestbedEvent.severity`` parses either.
         event = TestbedEvent(
             kind=kind,
             time=self.engine.now,
             source=source,
-            detail=tuple(sorted(detail.items())),
+            detail=tuple(
+                sorted(
+                    (key, value.value if isinstance(value, Severity) else value)
+                    for key, value in detail.items()
+                )
+            ),
         )
         self.events.append(event)
         for subscriber in list(self._subscribers):

@@ -27,6 +27,7 @@ from ..net.addr import IPAddress, Prefix
 from ..net.channel import Endpoint
 from ..net.packet import Packet
 from ..net.tunnel import TunnelEndpoint
+from ..telemetry.tracing import maybe_span
 from .experiment import Experiment
 from .safety import SafetyDecision
 from .server import AnnouncementSpec, MuxMode, PeeringServer
@@ -268,22 +269,34 @@ class PeeringClient:
         """Announce ``prefix`` from the given servers (default: all
         attached), optionally restricted to specific peers at each."""
         results: Dict[str, SafetyDecision] = {}
-        for server_name in servers or list(self.attachments):
-            attachment = self._require(server_name)
-            spec = AnnouncementSpec(
-                peers=tuple(peers) if peers is not None else None,
-                prepend=prepend,
-                poison=tuple(poison),
-            )
-            results[server_name] = attachment.server.announce(
-                self.client_id, prefix, spec
-            )
+        with maybe_span(
+            self.testbed.tracer,
+            "client.announce",
+            client=self.client_id,
+            prefix=str(prefix),
+        ):
+            for server_name in servers or list(self.attachments):
+                attachment = self._require(server_name)
+                spec = AnnouncementSpec(
+                    peers=tuple(peers) if peers is not None else None,
+                    prepend=prepend,
+                    poison=tuple(poison),
+                )
+                results[server_name] = attachment.server.announce(
+                    self.client_id, prefix, spec
+                )
         return results
 
     def withdraw(self, prefix: Prefix, servers: Optional[Sequence[str]] = None) -> None:
-        for server_name in servers or list(self.attachments):
-            attachment = self._require(server_name)
-            attachment.server.withdraw(self.client_id, prefix)
+        with maybe_span(
+            self.testbed.tracer,
+            "client.withdraw",
+            client=self.client_id,
+            prefix=str(prefix),
+        ):
+            for server_name in servers or list(self.attachments):
+                attachment = self._require(server_name)
+                attachment.server.withdraw(self.client_id, prefix)
 
     def announcements(self) -> Dict[str, Dict[Prefix, AnnouncementSpec]]:
         return {

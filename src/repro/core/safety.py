@@ -32,12 +32,15 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..bgp.attributes import ASPath, is_private_asn
 from ..bgp.dampening import DampeningConfig, RouteFlapDamper
 from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..telemetry.metrics import Counter, CounterChild, MetricsRegistry
 
 __all__ = [
     "SafetyVerdict",
@@ -113,6 +116,28 @@ class SafetyEnforcer:
             Callable[[str, SafetyDecision, float], None]
         ] = None
         self.violations: Dict[str, int] = {}
+        # Telemetry wiring (repro.telemetry): per-verdict decision counter,
+        # bound by the owning server via :meth:`bind_metrics`.  Optional —
+        # a standalone enforcer records audit entries only.
+        self._decision_counter: Optional["Counter"] = None
+        self._metrics_server = ""
+        # Label children resolved once at bind time — log_decision sits on
+        # the per-update hot path and the verdict set is closed.
+        self._verdict_children: Dict[SafetyVerdict, "CounterChild"] = {}
+
+    def bind_metrics(self, metrics: "MetricsRegistry", server: str) -> None:
+        """Count every decision as
+        ``peering_safety_decisions_total{server=,verdict=}``."""
+        self._decision_counter = metrics.counter(
+            "peering_safety_decisions_total",
+            "Safety audit decisions by mux and verdict",
+            ("server", "verdict"),
+        )
+        self._metrics_server = server
+        self._verdict_children = {
+            verdict: self._decision_counter.labels(server, verdict.value)
+            for verdict in SafetyVerdict
+        }
 
     # -- audit plumbing ----------------------------------------------------------
 
@@ -131,6 +156,9 @@ class SafetyEnforcer:
         """
         seq = self.seq_source() if self.seq_source is not None else next(self._own_seq)
         self.audit_log.append(AuditEntry(seq, now, client_id, decision))
+        child = self._verdict_children.get(decision.verdict)
+        if child is not None:
+            child.inc()
         if not decision.allowed and count_violation:
             self.violations[client_id] = self.violations.get(client_id, 0) + 1
             if self.on_violation is not None:

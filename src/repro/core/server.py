@@ -41,6 +41,7 @@ from ..net.packet import Packet
 from ..net.tunnel import Tunnel, TunnelEndpoint
 from ..sim.engine import Engine
 from ..inet.routing import ASRoute
+from ..telemetry.tracing import maybe_span
 from .safety import SafetyDecision, SafetyEnforcer, SafetyVerdict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -156,6 +157,11 @@ class PeeringServer:
         self._clients: Dict[str, _ClientAttachment] = {}
         self._next_tunnel_host = 1
         self.updates_relayed = 0
+        self._relayed_counter = testbed.metrics.counter(
+            "peering_updates_relayed_total",
+            "Per-peer routes relayed down client sessions",
+            ("server",),
+        ).labels(site.name)
         self.alive = True
         self.wedged = False  # alive-but-unresponsive (hung process)
         self.crash_count = 0
@@ -308,6 +314,14 @@ class PeeringServer:
             for peer_asn in sorted(selected):
                 attachment.path_id_for(peer_asn)
             endpoints[0] = pair.b
+        telemetry = self.testbed.telemetry
+        if telemetry is not None:
+            for peer_asn, session in attachment.sessions.items():
+                telemetry.attach_session(self.site.name, client_id, peer_asn, session)
+            if attachment.bird_session is not None:
+                telemetry.attach_session(
+                    self.site.name, client_id, None, attachment.bird_session
+                )
         return remote, endpoints
 
     @staticmethod
@@ -509,10 +523,26 @@ class PeeringServer:
         update: UpdateMessage,
     ) -> None:
         """A client spoke BGP at us: vet and translate into the substrate."""
-        client_id = attachment.client_id
-        now = self.engine.now
         if self.wedged:
             return  # a hung process reads nothing off the wire
+        with maybe_span(
+            self.testbed.tracer,
+            "mux.update",
+            server=self.site.name,
+            client=attachment.client_id,
+            announced=len(update.nlri),
+            withdrawn=len(update.withdrawn),
+        ):
+            self._vet_client_update(attachment, peer_asn, update)
+
+    def _vet_client_update(
+        self,
+        attachment: _ClientAttachment,
+        peer_asn: Optional[int],
+        update: UpdateMessage,
+    ) -> None:
+        client_id = attachment.client_id
+        now = self.engine.now
         if self.guard is not None and not self.guard.admit_update(self, client_id, now):
             # Quarantined or breaker-refused: the message is dropped and
             # audited; enforcement (session teardown) is the guard's job.
@@ -556,15 +586,20 @@ class PeeringServer:
                     )
                 ):
                     continue
-                decision = self.safety.check_announcement(
-                    client_id,
-                    prefix,
-                    as_path,
-                    allocated=set(allocated),
-                    testbed_space=self.testbed.pool.contains(prefix),
-                    now=now,
-                    count_flap=is_new,
-                )
+                with maybe_span(
+                    self.testbed.tracer, "safety.check", prefix=str(prefix)
+                ) as check:
+                    decision = self.safety.check_announcement(
+                        client_id,
+                        prefix,
+                        as_path,
+                        allocated=set(allocated),
+                        testbed_space=self.testbed.pool.contains(prefix),
+                        now=now,
+                        count_flap=is_new,
+                    )
+                    if check is not None:
+                        check.set(verdict=decision.verdict.value)
                 if not decision.allowed:
                     continue
                 if community_peers is not None:
@@ -661,6 +696,25 @@ class PeeringServer:
             unknown = set(spec.peers) - self.neighbor_asns
             if unknown:
                 raise ValueError(f"not neighbors at {self.site.name}: {sorted(unknown)}")
+        with maybe_span(
+            self.testbed.tracer,
+            "mux.announce",
+            server=self.site.name,
+            client=client_id,
+            prefix=str(prefix),
+        ) as span:
+            decision = self._vet_announce(attachment, client_id, prefix, spec)
+            if span is not None:
+                span.set(verdict=decision.verdict.value)
+            return decision
+
+    def _vet_announce(
+        self,
+        attachment: _ClientAttachment,
+        client_id: str,
+        prefix: Prefix,
+        spec: AnnouncementSpec,
+    ) -> SafetyDecision:
         now = self.engine.now
         if self.guard is not None:
             if self.guard.is_quarantined(client_id):
@@ -685,14 +739,17 @@ class PeeringServer:
                     now,
                     count_violation=False,
                 )
-        decision = self.safety.check_announcement(
-            client_id,
-            prefix,
-            ASPath(),
-            allocated=set(self.testbed.allocated_prefixes(client_id)),
-            testbed_space=self.testbed.pool.contains(prefix),
-            now=self.engine.now,
-        )
+        with maybe_span(self.testbed.tracer, "safety.check", prefix=str(prefix)) as check:
+            decision = self.safety.check_announcement(
+                client_id,
+                prefix,
+                ASPath(),
+                allocated=set(self.testbed.allocated_prefixes(client_id)),
+                testbed_space=self.testbed.pool.contains(prefix),
+                now=now,
+            )
+            if check is not None:
+                check.set(verdict=decision.verdict.value)
         if decision.allowed:
             attachment.announcements[prefix] = spec
             self.testbed.announce(self, client_id, prefix, spec)
@@ -700,12 +757,19 @@ class PeeringServer:
 
     def withdraw(self, client_id: str, prefix: Prefix) -> None:
         attachment = self._require_client(client_id)
-        self.safety.check_withdrawal(client_id, prefix, self.engine.now)
-        if self.guard is not None:
-            self.guard.record_flap(self, client_id, self.engine.now)
-        if prefix in attachment.announcements:
-            attachment.announcements.pop(prefix)
-            self.testbed.retract(self, client_id, prefix)
+        with maybe_span(
+            self.testbed.tracer,
+            "mux.withdraw",
+            server=self.site.name,
+            client=client_id,
+            prefix=str(prefix),
+        ):
+            self.safety.check_withdrawal(client_id, prefix, self.engine.now)
+            if self.guard is not None:
+                self.guard.record_flap(self, client_id, self.engine.now)
+            if prefix in attachment.announcements:
+                attachment.announcements.pop(prefix)
+                self.testbed.retract(self, client_id, prefix)
 
     def announcements_for(self, client_id: str) -> Dict[Prefix, AnnouncementSpec]:
         return dict(self._require_client(client_id).announcements)
@@ -757,6 +821,8 @@ class PeeringServer:
                     session.announce([prefix], attributes, path_ids=[path_id])
                     sent += 1
         self.updates_relayed += sent
+        if sent:
+            self._relayed_counter.inc(sent)
         return sent
 
     # -- data plane ----------------------------------------------------------------------

@@ -27,6 +27,8 @@ from ..inet.topology import ASGraph, ASKind, ASNode
 from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
 from ..sim.engine import Engine
+from ..telemetry.metrics import CounterChild, MetricsRegistry
+from ..telemetry.tracing import SpanContext, Tracer, maybe_span
 from .alerts import EventBus
 from .allocation import PrefixPool
 from .experiment import AdvisoryBoard, Experiment, ExperimentError, ExperimentStatus
@@ -38,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..guard.quarantine import QuarantineConfig
     from ..guard.supervisor import Supervisor
     from ..guard.watchdog import WatchdogConfig
+    from ..telemetry.collector import Collector
 
 __all__ = ["Testbed", "PEERING_ASN", "PEERING_SUPERNET"]
 
@@ -75,11 +78,41 @@ class Testbed:
         # prefix -> server name -> (client id, spec)
         self._announced: Dict[Prefix, Dict[str, Tuple[str, AnnouncementSpec]]] = {}
         self._dirty: Set[Prefix] = set()
+        # Telemetry: the registry always exists (subsystems register into
+        # it unconditionally — metric increments are cheap); the tracer
+        # and collector are wired by :meth:`observe`.
+        self.metrics = MetricsRegistry()
+        self.telemetry: Optional["Collector"] = None
+        self.tracer: Optional[Tracer] = None
+        # Deferred-propagation trace linkage: the span context active when
+        # a prefix was marked dirty, consumed as the parent of the later
+        # convergence span (a follows-from link).
+        self._dirty_ctx: Dict[Prefix, SpanContext] = {}
         # Compiled propagation engine: recompiles on graph mutation (the
         # graph version counter) and LRU-caches converged outcomes, so
         # per-destination route computation and announcement sweeps share
         # work automatically.
-        self.propagation = PropagationEngine(self.graph, cache_size=4096)
+        self.propagation = PropagationEngine(
+            self.graph, cache_size=4096, metrics=self.metrics
+        )
+        self._ann_counter = self.metrics.counter(
+            "peering_announcements_total",
+            "Announcements accepted into the substrate per mux",
+            ("server",),
+        )
+        self._wdr_counter = self.metrics.counter(
+            "peering_withdrawals_total",
+            "Announcements removed from the substrate per mux",
+            ("server",),
+        )
+        self._announced_gauge = self.metrics.gauge(
+            "peering_announced_prefixes",
+            "Prefixes currently announced by the testbed",
+        )
+        self._announced_child = self._announced_gauge.labels()
+        # Per-mux counter children resolved once when the server deploys —
+        # announce/retract are hot paths and the label value is fixed.
+        self._mux_children: Dict[str, Tuple["CounterChild", "CounterChild"]] = {}
         self._next_server_addr = 1
         # Supervision layer (repro.guard), wired by :meth:`supervise`.
         self.guard: Optional["Supervisor"] = None
@@ -181,8 +214,15 @@ class Testbed:
         else:
             server.join_ixp()
         self.servers[site.name] = server
+        server.safety.bind_metrics(self.metrics, site.name)
+        self._mux_children[site.name] = (
+            self._ann_counter.labels(site.name),
+            self._wdr_counter.labels(site.name),
+        )
         if self.guard is not None:
             self.guard.adopt_server(server)
+        if self.telemetry is not None:
+            self.telemetry.adopt_server(server)
         return server
 
     def server(self, name: str) -> PeeringServer:
@@ -211,6 +251,19 @@ class Testbed:
             watchdog=watchdog,
             journal=journal,
         ).start()
+
+    def observe(self) -> "Collector":
+        """Wire up and start the telemetry layer (repro.telemetry):
+        control-path tracing, BMP-style route monitoring on every mux,
+        and EventBus severity counters — all exporting through
+        ``self.metrics``.
+
+        Idempotent: returns the existing collector if already wired."""
+        if self.telemetry is not None:
+            return self.telemetry
+        from ..telemetry.collector import Collector
+
+        return Collector(self).start()
 
     # -- experiments & clients ------------------------------------------------------
 
@@ -339,8 +392,21 @@ class Testbed:
                 prefix=str(prefix),
                 spec=spec_to_tuple(spec),
             )
-        holders[server.site.name] = (client_id, spec)
-        self._repropagate(prefix)
+        with maybe_span(
+            self.tracer,
+            "testbed.announce",
+            prefix=str(prefix),
+            server=server.site.name,
+            client=client_id,
+        ):
+            holders[server.site.name] = (client_id, spec)
+            self._repropagate(prefix)
+        self._mux_children[server.site.name][0].inc()
+        self._announced_child.set(len(self._announced))
+        if self.telemetry is not None:
+            self.telemetry.monitor.post_policy_announce(
+                server.site.name, server.address, client_id, prefix, spec
+            )
 
     def retract(
         self,
@@ -369,13 +435,27 @@ class Testbed:
                 client=client_id,
                 prefix=str(prefix),
             )
-        holders.pop(server.site.name, None)
-        if holders:
-            self._repropagate(prefix)
-        else:
-            del self._announced[prefix]
-            self._dirty.discard(prefix)
-            self.dataplane.uninstall(prefix)
+        with maybe_span(
+            self.tracer,
+            "testbed.retract",
+            prefix=str(prefix),
+            server=server.site.name,
+            client=client_id,
+        ):
+            holders.pop(server.site.name, None)
+            if holders:
+                self._repropagate(prefix)
+            else:
+                del self._announced[prefix]
+                self._dirty.discard(prefix)
+                self._dirty_ctx.pop(prefix, None)
+                self.dataplane.uninstall(prefix)
+        self._mux_children[server.site.name][1].inc()
+        self._announced_child.set(len(self._announced))
+        if self.telemetry is not None:
+            self.telemetry.monitor.post_policy_withdraw(
+                server.site.name, server.address, client_id, prefix
+            )
 
     def _repropagate(self, prefix: Prefix) -> None:
         """Mark ``prefix`` for reconvergence.  Propagation is deferred to
@@ -383,6 +463,13 @@ class Testbed:
         extends the same announcement across hundreds of per-peer sessions
         triggers one convergence, not hundreds."""
         self._dirty.add(prefix)
+        if self.tracer is not None:
+            # Remember who dirtied the prefix so the deferred convergence
+            # span joins the same trace (last writer wins, matching the
+            # last-write-wins registry semantics).
+            context = self.tracer.current_context()
+            if context is not None:
+                self._dirty_ctx[prefix] = context
 
     def _flush_dirty(self) -> None:
         for prefix in sorted(self._dirty):
@@ -408,8 +495,20 @@ class Testbed:
                     announce_to=peers,
                 )
             )
-        outcome = self.propagation.propagate(Announcement(origins=tuple(origins)))
-        self.dataplane.install(prefix, outcome, owner=self.asn)
+        parent = self._dirty_ctx.pop(prefix, None)
+        with maybe_span(
+            self.tracer,
+            "propagation.converge",
+            parent=parent,
+            prefix=str(prefix),
+            origins=len(origins),
+        ) as converge:
+            outcome = self.propagation.propagate(Announcement(origins=tuple(origins)))
+            if self.tracer is not None:
+                self.tracer.event("outcome.install")
+            self.dataplane.install(prefix, outcome, owner=self.asn)
+            if converge is not None:
+                converge.set(reached=len(outcome))
 
     def announced_prefixes(self) -> List[Prefix]:
         return list(self._announced)
@@ -483,4 +582,6 @@ class Testbed:
         }
         if self.guard is not None:
             summary["guard"] = self.guard.stats()
+        if self.telemetry is not None:
+            summary["telemetry"] = self.telemetry.stats()
         return summary

@@ -68,6 +68,28 @@ class Supervisor:
         self.watchdog = Watchdog(self, watchdog)
         self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
         self.started = False
+        # Telemetry: supervision activity counters on the testbed registry.
+        metrics = testbed.metrics
+        self._trip_counter = metrics.counter(
+            "peering_guard_breaker_trips_total",
+            "Circuit breaker OPEN transitions",
+            ("server", "client"),
+        )
+        self._containment_counter = metrics.counter(
+            "peering_guard_containments_total",
+            "Quarantine containments enforced",
+            ("client",),
+        )
+        self._release_counter = metrics.counter(
+            "peering_guard_releases_total",
+            "Quarantine releases (client re-admitted)",
+            ("client",),
+        )
+        self._repair_counter = metrics.counter(
+            "peering_guard_repairs_total",
+            "Journal divergences healed after mux restart",
+            ("server",),
+        )
 
     # -- wiring -------------------------------------------------------------------
 
@@ -201,6 +223,7 @@ class Supervisor:
         now: float,
     ) -> None:
         cooldown = breaker.half_open_at - now
+        self._trip_counter.labels(server.site.name, client_id).inc()
         self.events.emit(
             "breaker-open",
             source=f"{server.site.name}/{client_id}",
@@ -261,6 +284,7 @@ class Supervisor:
         before the registry mutations it describes)."""
         now = self.engine.now
         self.journal.append(now, "quarantine", client=client_id)
+        self._containment_counter.labels(client_id).inc()
         withdrawn = 0
         for name in sorted(self.testbed.servers):
             server = self.testbed.servers[name]
@@ -280,6 +304,7 @@ class Supervisor:
         (rate-limit windows, flap-damping penalties, breaker ladders)."""
         now = self.engine.now
         self.journal.append(now, "release", client=client_id)
+        self._release_counter.labels(client_id).inc()
         for server in self.testbed.servers.values():
             server.safety.reset_client(client_id)
         for (_site, cid), breaker in self._breakers.items():
@@ -312,6 +337,8 @@ class Supervisor:
                 attachment.announcements[prefix] = spec
                 self.testbed.announce(server, client_id, prefix, spec, record=False)
                 repaired += 1
+        if repaired:
+            self._repair_counter.labels(server.site.name).inc(repaired)
         return repaired
 
     # -- reporting ----------------------------------------------------------------------

@@ -40,8 +40,10 @@ import os
 from array import array
 from collections import OrderedDict
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..telemetry.metrics import MetricsRegistry
 from .routing import Announcement, ASRoute, OriginSpec, RouteKind, RoutingOutcome
 from .topology import ASGraph, TopologyError
 
@@ -493,7 +495,9 @@ class CompiledOutcome(RoutingOutcome):
         return {asns[i] for i, k in enumerate(self._kind) if k}
 
     def __len__(self) -> int:
-        return sum(1 for k in self._kind if k)
+        # kind-code 0 is "not reached"; bytearray.count is C-speed, and
+        # telemetry stamps len(outcome) onto every convergence span.
+        return len(self._kind) - self._kind.count(0)
 
     def items(self) -> Iterator[Tuple[int, ASRoute]]:
         asns = self._compiled.asns
@@ -527,22 +531,56 @@ class CompiledOutcome(RoutingOutcome):
 
 class OutcomeCache:
     """LRU cache of converged outcomes keyed by
-    ``(graph version, canonical announcement)`` with hit/miss stats."""
+    ``(graph version, canonical announcement)``.
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    Hit/miss/eviction stats live in a :class:`MetricsRegistry` (labelled
+    ``peering_cache_*_total{cache=...}``) — the testbed passes its shared
+    registry in so every cache shows up in one export; a standalone cache
+    gets a private registry.  The ``hits``/``misses``/``evictions``
+    attributes remain readable as plain ints for existing callers."""
+
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "propagation",
+    ) -> None:
         self.maxsize = maxsize
+        self.name = name
         self._data: "OrderedDict[Tuple, RoutingOutcome]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._hits = registry.counter(
+            "peering_cache_hits_total", "Outcome cache hits", ("cache",)
+        ).labels(name)
+        self._misses = registry.counter(
+            "peering_cache_misses_total", "Outcome cache misses", ("cache",)
+        ).labels(name)
+        self._evictions = registry.counter(
+            "peering_cache_evictions_total", "Outcome cache LRU evictions", ("cache",)
+        ).labels(name)
+        self._entries = registry.gauge(
+            "peering_cache_entries", "Outcome cache current size", ("cache",)
+        ).labels(name)
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
 
     def get(self, key: Tuple) -> Optional[RoutingOutcome]:
         outcome = self._data.get(key)
         if outcome is None:
-            self.misses += 1
+            self._misses.value += 1.0
             return None
         self._data.move_to_end(key)
-        self.hits += 1
+        self._hits.value += 1.0
         return outcome
 
     def put(self, key: Tuple, outcome: RoutingOutcome) -> None:
@@ -552,16 +590,19 @@ class OutcomeCache:
         data[key] = outcome
         if len(data) > self.maxsize:
             data.popitem(last=False)
-            self.evictions += 1
+            self._evictions.value += 1.0
+        self._entries.value = float(len(data))
 
     def prune_version(self, version: int) -> None:
         """Drop entries computed against any graph version but ``version``."""
         stale = [key for key in self._data if key[0] != version]
         for key in stale:
             del self._data[key]
+        self._entries.value = float(len(self._data))
 
     def clear(self) -> None:
         self._data.clear()
+        self._entries.value = 0.0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -608,11 +649,32 @@ class PropagationEngine:
     outcome computed against a stale topology.
     """
 
-    def __init__(self, graph: ASGraph, cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        graph: ASGraph,
+        cache_size: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.graph = graph
-        self.cache = OutcomeCache(cache_size)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = OutcomeCache(cache_size, metrics=self.metrics)
         self._compiled: Optional[CompiledTopology] = None
-        self.compile_count = 0
+        self._compiles = self.metrics.counter(
+            "peering_propagation_compiles_total",
+            "Topology compilations (graph version changes)",
+        ).labels()
+        self._runs = self.metrics.counter(
+            "peering_propagation_runs_total",
+            "Full convergence runs (cache misses)",
+        ).labels()
+        self._seconds = self.metrics.histogram(
+            "peering_propagation_seconds",
+            "Wall-clock convergence time per in-process run",
+        ).labels()
+
+    @property
+    def compile_count(self) -> int:
+        return int(self._compiles.value)
 
     # -- compilation ----------------------------------------------------------
 
@@ -622,7 +684,7 @@ class PropagationEngine:
         if compiled is None or compiled.version != self.graph.version:
             compiled = CompiledTopology(self.graph)
             self._compiled = compiled
-            self.compile_count += 1
+            self._compiles.inc()
             self.cache.prune_version(compiled.version)
         return compiled
 
@@ -647,10 +709,14 @@ class PropagationEngine:
     def _run(
         self, compiled: CompiledTopology, announcement: Announcement
     ) -> CompiledOutcome:
+        started = perf_counter()
         specs = _compile_specs(compiled, announcement)
         table = _converge(compiled, specs)
         spec_paths = tuple(s[1] for s in specs)
-        return CompiledOutcome(self.graph, compiled, table, spec_paths)
+        outcome = CompiledOutcome(self.graph, compiled, table, spec_paths)
+        self._runs.inc()
+        self._seconds.observe(perf_counter() - started)
+        return outcome
 
     # -- sweeps ---------------------------------------------------------------
 
@@ -725,6 +791,7 @@ class PropagationEngine:
             # Sandboxed/locked-down hosts without working semaphores:
             # degrade to in-process execution rather than failing the sweep.
             return [self._run(compiled, a) for a in announcements]
+        self._runs.inc(len(announcements))  # worker runs aren't timed here
         outcomes = []
         for (kind_b, via_a, root_a, plen_a), spec_paths in zip(raw, all_spec_paths):
             table = (bytearray(kind_b), via_a.tolist(), root_a.tolist(), plen_a.tolist())

@@ -1,0 +1,54 @@
+"""repro.telemetry — observability for the PEERING reproduction.
+
+The paper's testbed is *operated*: its safety story (§4) depends on the
+operators watching what every experiment announces, where it propagates,
+and why filters fired.  This package is that watching apparatus:
+
+* :mod:`~repro.telemetry.metrics` — the :class:`MetricsRegistry` every
+  subsystem registers counters/gauges/histograms into, with
+  Prometheus-style text export and snapshot/delta views;
+* :mod:`~repro.telemetry.tracing` — deterministic :class:`Tracer`/
+  :class:`Span` threading causal context through the control path
+  (client op → mux → safety check → propagation → outcome);
+* :mod:`~repro.telemetry.routemon` — the BMP-inspired
+  :class:`RouteMonitor` streaming per-peer pre/post-policy route
+  monitoring messages and keeping monitored RIBs (MRT-exportable);
+* :mod:`~repro.telemetry.lookingglass` — the :class:`LookingGlass`
+  query service (route / AS-path / community lookups per mux);
+* :mod:`~repro.telemetry.collector` — the :class:`Collector` that
+  ``testbed.observe()`` installs, tying all of the above together.
+
+Import discipline: :mod:`repro.core` and :mod:`repro.inet` import this
+package, so nothing here may import them at runtime (``TYPE_CHECKING``
+annotations only; severity and spec objects are duck-typed).
+"""
+
+from .collector import Collector
+from .lookingglass import LookingGlass
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .routemon import BMPKind, MonitoredRib, RouteMonitor, RouteMonitorMessage
+from .tracing import Span, SpanContext, Tracer, maybe_span
+
+__all__ = [
+    "Collector",
+    "LookingGlass",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "BMPKind",
+    "MonitoredRib",
+    "RouteMonitor",
+    "RouteMonitorMessage",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "maybe_span",
+]
