@@ -1,0 +1,139 @@
+"""Benchmark + determinism gate for the route-security subsystem.
+
+Standalone script (no pytest dependency) so CI can run it as the
+``security-scenarios`` job:
+
+    PYTHONPATH=src python benchmarks/bench_secroute.py \\
+        --output BENCH_secroute.json --check
+
+Runs the three-scenario attack campaign (origin hijack, sub-prefix
+hijack, route leak) on both propagation paths and reports:
+
+* the coverage-vs-deployment table per scenario (compiled engine);
+* wall-clock per campaign, compiled vs reference;
+* the campaign-level leak-containment count.
+
+``--check`` is a *determinism* gate, not a speed gate: the campaign is
+fully seeded, so the coverage tables must match the committed baseline
+(``BENCH_secroute_baseline.json``) **exactly**, every curve must be
+monotone in deployment rate, and compiled and reference engines must
+agree.  Any drift means route-security semantics changed and the
+baseline needs a deliberate regeneration (rerun without ``--check`` and
+commit the output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.secroute import CampaignConfig, run_campaign
+
+BASELINE = Path(__file__).with_name("BENCH_secroute_baseline.json")
+
+
+def campaign_config(quick: bool) -> CampaignConfig:
+    if quick:
+        return CampaignConfig(
+            seed=1914, rates=(0.0, 0.5, 1.0), trials=2, n_ases=100, n_tier1=5
+        )
+    return CampaignConfig(
+        seed=1914,
+        rates=(0.0, 0.25, 0.5, 0.75, 1.0),
+        trials=3,
+        n_ases=150,
+        n_tier1=5,
+    )
+
+
+def run_benchmarks(quick: bool):
+    config = campaign_config(quick)
+
+    start = time.perf_counter()
+    compiled = run_campaign(config)
+    compiled_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference = run_campaign(config, use_reference=True)
+    reference_s = time.perf_counter() - start
+
+    print(compiled.table())
+    results = {
+        "config": {
+            "quick": quick,
+            "seed": config.seed,
+            "rates": list(config.rates),
+            "trials": config.trials,
+            "n_ases": config.n_ases,
+            "n_tier1": config.n_tier1,
+        },
+        "campaign": compiled.to_dict(),
+        "engines_agree": compiled.to_dict()["coverage"]
+        == reference.to_dict()["coverage"],
+        "monotone": {
+            name: scenario.is_monotone()
+            for name, scenario in compiled.scenarios.items()
+        },
+        "timing": {
+            "compiled_s": round(compiled_s, 3),
+            "reference_s": round(reference_s, 3),
+            "speedup": round(reference_s / compiled_s, 3),
+        },
+    }
+    return results
+
+
+def check_regression(results) -> int:
+    failures = []
+    if not results["engines_agree"]:
+        failures.append("compiled and reference engines disagree")
+    for name, monotone in results["monotone"].items():
+        if not monotone:
+            failures.append(f"{name} coverage curve is not monotone")
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        if baseline["config"] != results["config"]:
+            print("baseline config differs; skipping exact-coverage comparison")
+        elif baseline["campaign"]["coverage"] != results["campaign"]["coverage"]:
+            failures.append(
+                "coverage tables drifted from the committed baseline "
+                "(seeded campaign: this means semantics changed)"
+            )
+    else:
+        print(f"no baseline at {BASELINE}; skipping exact-coverage comparison")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("determinism gate: coverage tables match baseline, curves monotone")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small config for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_secroute.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on coverage drift vs committed baseline or broken monotonicity",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.quick)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        return check_regression(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

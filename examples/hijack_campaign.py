@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Attack campaign walkthrough: hijacks and leaks vs. defense deployment.
+
+The route-security subsystem (``repro.secroute``) exists to answer one
+question quantitatively: *how much deployment does each defense need
+before the testbed's announcements survive an attack?*  This example
+runs the full seeded campaign and prints the coverage-vs-deployment
+table for the three scenarios:
+
+1. **origin hijack** — the attacker announces the victim's exact
+   prefix; RPKI origin validation (RFC 6811) at deploying ASes drops
+   the Invalid routes;
+2. **sub-prefix hijack** — the attacker announces a more-specific; the
+   covering ROA's maxLength makes it Invalid, but longest-prefix match
+   means only ROV deployers (and ASes behind them) stay protected;
+3. **route leak** — a multihomed stub re-originates its learned path,
+   which is RPKI-*Valid*; containment comes from Peerlock at the tier-1
+   clique and Peerlock-lite at transit ASes.
+
+Everything derives from one seed: rerunning this script reproduces the
+same table bit-for-bit, and the reference propagation path produces the
+same numbers as the compiled engine.
+
+Run:  PYTHONPATH=src python examples/hijack_campaign.py
+"""
+
+from repro.secroute import CampaignConfig, RovMode, run_campaign
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def main() -> None:
+    config = CampaignConfig(
+        seed=1914,
+        rates=(0.0, 0.25, 0.5, 0.75, 1.0),
+        trials=3,
+        n_ases=150,
+        n_tier1=5,
+    )
+    metrics = MetricsRegistry()
+
+    print("== Attack campaign: drop-invalid ROV + Peerlock ==")
+    result = run_campaign(config, metrics=metrics)
+    print(f"victim AS{result.victim}, attacker AS{result.attacker}, "
+          f"leaker AS{result.leaker} on a {config.n_ases}-AS internet\n")
+    print("protection coverage vs. defense deployment rate "
+          f"(mean of {config.trials} seeded trials):\n")
+    print(result.table())
+    print(f"\nleaked routes contained by Peerlock: {result.leaks_contained}")
+
+    print("\n== Same campaign, deprefer-invalid ROV ==")
+    deprefer = run_campaign(
+        CampaignConfig(
+            seed=config.seed,
+            rates=config.rates,
+            trials=config.trials,
+            rov_mode=RovMode.DEPREFER_INVALID,
+            n_ases=config.n_ases,
+            n_tier1=config.n_tier1,
+        )
+    )
+    print(deprefer.table())
+    print("""
+(deprefer matches drop-invalid on origin-hijack *coverage* — an AS whose
+ only route is the attacker's scores as unprotected either way; dropping
+ merely blackholes it instead.  And deprefer gives zero sub-prefix
+ protection: nobody holds a competing route for the more-specific, so
+ every deployer accepts the Invalid route "as a last resort" and
+ longest-prefix match does the rest — the RFC 7115 argument for
+ dropping Invalids outright.)""")
+
+    print("\n== RFC 6811 verdicts observed during the campaign ==")
+    verdicts = metrics.get("peering_secroute_rov_verdicts_total")
+    assert verdicts is not None
+    for state in ("valid", "not-found", "invalid"):
+        print(f"  {state:>10}: {int(verdicts.labels(state).value)}")
+
+
+if __name__ == "__main__":
+    main()

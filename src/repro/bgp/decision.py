@@ -6,15 +6,18 @@ Given the candidate :class:`~repro.bgp.rib.Route` objects for one prefix,
 
 1. highest weight (local to the router, Cisco-style),
 2. highest LOCAL_PREF (default 100 when unset),
-3. locally-originated routes,
-4. shortest AS_PATH (AS_SET counts as one),
-5. lowest ORIGIN (IGP < EGP < INCOMPLETE),
-6. lowest MED — compared only between routes from the same neighbor AS
+3. best RPKI validation state (Valid < NotFound < Invalid, RFC 8481);
+   unvalidated routes rank as NotFound, so the step is a no-op until an
+   import policy or looking glass stamps ``Route.validation``,
+4. locally-originated routes,
+5. shortest AS_PATH (AS_SET counts as one),
+6. lowest ORIGIN (IGP < EGP < INCOMPLETE),
+7. lowest MED — compared only between routes from the same neighbor AS
    unless ``always_compare_med``; missing MED treated as 0,
-7. eBGP over iBGP,
-8. lowest IGP metric to the next hop,
-9. oldest route (stability preference; optional, on by default),
-10. lowest peer identifier (router-id stand-in) then path id.
+8. eBGP over iBGP,
+9. lowest IGP metric to the next hop,
+10. oldest route (stability preference; optional, on by default),
+11. lowest peer identifier (router-id stand-in) then path id.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from __future__ import annotations
 from functools import cmp_to_key
 from typing import List, Optional, Sequence, Tuple
 
+from ..secroute.rpki import ValidationState
 from .rib import Route
 
 __all__ = ["best_path", "select_best", "DEFAULT_LOCAL_PREF"]
@@ -34,6 +38,11 @@ def _local_pref(route: Route) -> int:
     return DEFAULT_LOCAL_PREF if value is None else value
 
 
+def _validation_rank(route: Route) -> int:
+    state = route.validation
+    return ValidationState.NOT_FOUND.rank if state is None else state.rank
+
+
 def _med(route: Route) -> int:
     return route.attributes.med or 0
 
@@ -44,6 +53,8 @@ def _compare(a: Route, b: Route, always_compare_med: bool, prefer_oldest: bool) 
         return b.weight - a.weight
     if _local_pref(a) != _local_pref(b):
         return _local_pref(b) - _local_pref(a)
+    if _validation_rank(a) != _validation_rank(b):
+        return _validation_rank(a) - _validation_rank(b)
     if a.local != b.local:
         return -1 if a.local else 1
     alen, blen = a.attributes.as_path.length(), b.attributes.as_path.length()

@@ -18,10 +18,11 @@ The pieces compose like their router-CLI namesakes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..net.addr import Prefix
+from ..secroute.rpki import RoaRegistry, ValidationState
 from .attributes import Community, PathAttributes
 from .rib import Route
 
@@ -134,6 +135,9 @@ class MatchConditions:
     as_path: Optional[AsPathFilter] = None
     communities_any: Optional[FrozenSet[Community]] = None
     communities_all: Optional[FrozenSet[Community]] = None
+    # RFC 6811 validation-state match (a route-map ``match rpki ...``).
+    # A route never validated counts as NotFound, per RFC 8481.
+    validation_in: Optional[FrozenSet[ValidationState]] = None
     custom: Optional[Callable[[Route], bool]] = None
 
     def matches(self, route: Route) -> bool:
@@ -141,6 +145,14 @@ class MatchConditions:
             return False
         if self.as_path is not None and not self.as_path.matches(route.attributes):
             return False
+        if self.validation_in is not None:
+            state = (
+                ValidationState.NOT_FOUND
+                if route.validation is None
+                else route.validation
+            )
+            if state not in self.validation_in:
+                return False
         if self.communities_any is not None and not (
             route.attributes.communities & self.communities_any
         ):
@@ -165,6 +177,11 @@ class SetActions:
     remove_communities: FrozenSet[Community] = frozenset()
     clear_communities: bool = False
     weight: Optional[int] = None
+    # Stamp a fixed validation state, or run RFC 6811 validation against
+    # a ROA registry (``validate_against`` wins when both are set and the
+    # route's origin ASN is known).
+    validation: Optional[ValidationState] = None
+    validate_against: Optional[RoaRegistry] = None
     custom: Optional[Callable[[Route], Route]] = None
 
     def apply(self, route: Route) -> Route:
@@ -183,18 +200,15 @@ class SetActions:
             attributes = attributes.with_communities(communities)
         route = route.with_attributes(attributes)
         if self.weight is not None:
-            route = Route(
-                prefix=route.prefix,
-                attributes=route.attributes,
-                peer_asn=route.peer_asn,
-                peer_id=route.peer_id,
-                path_id=route.path_id,
-                ebgp=route.ebgp,
-                local=route.local,
-                weight=self.weight,
-                igp_metric=route.igp_metric,
-                learned_at=route.learned_at,
-            )
+            route = replace(route, weight=self.weight)
+        if self.validation is not None:
+            route = route.with_validation(self.validation)
+        if self.validate_against is not None:
+            origin = route.attributes.as_path.origin_asn
+            if origin is not None:
+                route = route.with_validation(
+                    self.validate_against.validate(route.prefix, origin)
+                )
         if self.custom is not None:
             route = self.custom(route)
         return route

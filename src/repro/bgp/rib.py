@@ -15,10 +15,13 @@ originated).  The three RIB stages follow RFC 4271 §3.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from ..net.addr import Prefix
 from .attributes import PathAttributes
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..secroute.rpki import ValidationState
 
 __all__ = ["Route", "AdjRIBIn", "LocRIB", "AdjRIBOut"]
 
@@ -41,9 +44,16 @@ class Route:
     # in the decision process until the peer re-advertises (or a deadline
     # flushes it).  Comparison field so marking shows up as a change.
     stale: bool = False
+    # RFC 6811 origin-validation outcome, stamped by import policy or the
+    # looking glass; None means validation never ran (treated as NotFound
+    # by the decision process, per RFC 8481).
+    validation: Optional["ValidationState"] = None
 
     def with_attributes(self, attributes: PathAttributes) -> "Route":
         return replace(self, attributes=attributes)
+
+    def with_validation(self, validation: Optional["ValidationState"]) -> "Route":
+        return replace(self, validation=validation)
 
     def key(self) -> Tuple[str, Optional[int]]:
         """Identity of this route within a prefix: (peer, path id)."""

@@ -40,6 +40,7 @@ from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..secroute.rpki import RoaRegistry
     from ..telemetry.metrics import Counter, CounterChild, MetricsRegistry
 
 __all__ = [
@@ -56,8 +57,14 @@ class SafetyVerdict(Enum):
     PREFIX_NOT_ALLOCATED = "prefix-not-allocated"
     PREFIX_OUTSIDE_TESTBED = "prefix-outside-testbed"
     PREFIX_TOO_COARSE = "prefix-too-coarse"
+    # A client announcing a more-specific of *another* client's
+    # allocation: an intra-testbed sub-prefix hijack, not a mere typo.
+    PREFIX_SQUAT = "prefix-squat"
     ROUTE_LEAK = "route-leak"
     BAD_ORIGIN = "bad-origin"
+    # The announcement is RPKI-Invalid under the testbed's own ROAs
+    # (announcing it would hijack space someone authorized differently).
+    RPKI_INVALID = "rpki-invalid"
     DAMPED = "damped"
     RATE_LIMITED = "rate-limited"
     SPOOFED_SOURCE = "spoofed-source"
@@ -116,6 +123,10 @@ class SafetyEnforcer:
             Callable[[str, SafetyDecision, float], None]
         ] = None
         self.violations: Dict[str, int] = {}
+        # RPKI wiring (repro.secroute): vet announcements against the
+        # shared ROA registry as :meth:`bind_roas` describes.  Optional.
+        self._roas: Optional["RoaRegistry"] = None
+        self._roa_origin: int = 0
         # Telemetry wiring (repro.telemetry): per-verdict decision counter,
         # bound by the owning server via :meth:`bind_metrics`.  Optional —
         # a standalone enforcer records audit entries only.
@@ -138,6 +149,15 @@ class SafetyEnforcer:
             verdict: self._decision_counter.labels(server, verdict.value)
             for verdict in SafetyVerdict
         }
+
+    def bind_roas(self, registry: "RoaRegistry", origin_asn: int) -> None:
+        """Vet client announcements against the ROA registry, as the
+        Internet will see them: originated by ``origin_asn`` (the
+        testbed's public ASN — private emulation ASNs are stripped before
+        export).  An Invalid result is denied with
+        :attr:`SafetyVerdict.RPKI_INVALID`."""
+        self._roas = registry
+        self._roa_origin = origin_asn
 
     # -- audit plumbing ----------------------------------------------------------
 
@@ -187,6 +207,7 @@ class SafetyEnforcer:
         testbed_space: bool,
         now: float,
         count_flap: bool = True,
+        foreign_allocated: Optional[Set[Prefix]] = None,
     ) -> SafetyDecision:
         """Validate one client announcement.
 
@@ -197,9 +218,12 @@ class SafetyEnforcer:
         passes False when a client merely *extends* an existing
         announcement to more peers (Quagga-mode sends one UPDATE per peer
         session for the same prefix; that is one announcement, not many).
+        ``foreign_allocated``: prefixes held by *other* clients, so a
+        sub-prefix squat is distinguished from a plain bad prefix.
         """
         decision = self._check(
-            client_id, prefix, as_path, allocated, testbed_space, now, count_flap
+            client_id, prefix, as_path, allocated, testbed_space, now, count_flap,
+            foreign_allocated,
         )
         return self.log_decision(client_id, decision, now)
 
@@ -212,6 +236,7 @@ class SafetyEnforcer:
         testbed_space: bool,
         now: float,
         count_flap: bool = True,
+        foreign_allocated: Optional[Set[Prefix]] = None,
     ) -> SafetyDecision:
         if not testbed_space:
             return SafetyDecision(
@@ -224,10 +249,31 @@ class SafetyEnforcer:
                 f"{prefix} is coarser than /{self.config.min_prefix_length}",
             )
         if not any(owned.contains(prefix) for owned in allocated):
+            # Squatting another experiment's space (announcing it outright
+            # or a more-specific of it) is an intra-testbed hijack and is
+            # audited as such — it draws a violation like any other denial.
+            if foreign_allocated and any(
+                other.contains(prefix) for other in foreign_allocated
+            ):
+                return SafetyDecision(
+                    SafetyVerdict.PREFIX_SQUAT,
+                    f"{prefix} covers another client's allocation "
+                    f"(sub-prefix squat by {client_id})",
+                )
             return SafetyDecision(
                 SafetyVerdict.PREFIX_NOT_ALLOCATED,
                 f"{prefix} is not allocated to {client_id}",
             )
+        if self._roas is not None:
+            from ..secroute.rpki import ValidationState
+
+            state = self._roas.validate(prefix, self._roa_origin)
+            if state is ValidationState.INVALID:
+                return SafetyDecision(
+                    SafetyVerdict.RPKI_INVALID,
+                    f"{prefix} from AS{self._roa_origin} is RPKI-Invalid "
+                    "under the testbed's ROAs",
+                )
         # Origin check: path must be empty (mux originates) or end in a
         # private ASN (an emulated domain behind the client).  A path
         # ending in a real public ASN means the client is re-announcing a

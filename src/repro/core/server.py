@@ -597,6 +597,9 @@ class PeeringServer:
                         testbed_space=self.testbed.pool.contains(prefix),
                         now=now,
                         count_flap=is_new,
+                        foreign_allocated=self.testbed.foreign_allocated_prefixes(
+                            client_id
+                        ),
                     )
                     if check is not None:
                         check.set(verdict=decision.verdict.value)
@@ -747,6 +750,7 @@ class PeeringServer:
                 allocated=set(self.testbed.allocated_prefixes(client_id)),
                 testbed_space=self.testbed.pool.contains(prefix),
                 now=now,
+                foreign_allocated=self.testbed.foreign_allocated_prefixes(client_id),
             )
             if check is not None:
                 check.set(verdict=decision.verdict.value)

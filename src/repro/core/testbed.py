@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..guard.quarantine import QuarantineConfig
     from ..guard.supervisor import Supervisor
     from ..guard.watchdog import WatchdogConfig
+    from ..secroute.rpki import RoaRegistry
     from ..telemetry.collector import Collector
 
 __all__ = ["Testbed", "PEERING_ASN", "PEERING_SUPERNET"]
@@ -117,6 +118,8 @@ class Testbed:
         # Supervision layer (repro.guard), wired by :meth:`supervise`.
         self.guard: Optional["Supervisor"] = None
         self.journal: Optional["ControlJournal"] = None
+        # ROA registry (repro.secroute), wired by :meth:`adopt_roas`.
+        self.roas: Optional["RoaRegistry"] = None
 
         if asn not in self.graph:
             self.graph.add_as(
@@ -223,6 +226,8 @@ class Testbed:
             self.guard.adopt_server(server)
         if self.telemetry is not None:
             self.telemetry.adopt_server(server)
+        if self.roas is not None:
+            server.safety.bind_roas(self.roas, self.asn)
         return server
 
     def server(self, name: str) -> PeeringServer:
@@ -351,6 +356,28 @@ class Testbed:
             return list(self.experiment_of(client_id).prefixes)
         except ExperimentError:
             return []
+
+    def foreign_allocated_prefixes(self, client_id: str) -> Set[Prefix]:
+        """Prefixes allocated to every experiment *except* the one
+        ``client_id`` belongs to — the safety layer uses these to call
+        out intra-testbed sub-prefix squats by name."""
+        try:
+            own = self._client_experiment[client_id]
+        except KeyError:
+            own = None
+        foreign: Set[Prefix] = set()
+        for name, experiment in self.experiments.items():
+            if name != own:
+                foreign.update(experiment.prefixes)
+        return foreign
+
+    def adopt_roas(self, registry: "RoaRegistry") -> None:
+        """Vet every mux's client announcements against ``registry`` (the
+        same ROA database the substrate's ROV deployment reads), with the
+        testbed's public ASN as the origin the Internet sees."""
+        self.roas = registry
+        for server in self.servers.values():
+            server.safety.bind_roas(registry, self.asn)
 
     # -- announcement registry ---------------------------------------------------------
 
@@ -503,7 +530,9 @@ class Testbed:
             prefix=str(prefix),
             origins=len(origins),
         ) as converge:
-            outcome = self.propagation.propagate(Announcement(origins=tuple(origins)))
+            outcome = self.propagation.propagate(
+                Announcement(origins=tuple(origins), prefix=prefix)
+            )
             if self.tracer is not None:
                 self.tracer.event("outcome.install")
             self.dataplane.install(prefix, outcome, owner=self.asn)

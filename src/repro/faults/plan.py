@@ -168,3 +168,38 @@ class FaultPlan:
                 lambda i=i: one(i),
             )
         return self
+
+    # -- route-security attack scenarios -----------------------------------------
+    # These drive a repro.secroute.campaign.AttackSurface (duck-typed: any
+    # object with announce/withdraw/leak) so scripted hijack/leak attacks
+    # share the fault engine's deterministic timeline with link and mux
+    # faults.  This module deliberately does not import repro.secroute.
+
+    def hijack_prefix(
+        self, surface, attacker: int, prefix, at: float
+    ) -> "FaultPlan":
+        """At ``at``, ``attacker`` originates ``prefix`` (exact-prefix
+        origin hijack; announce a more-specific for a sub-prefix hijack).
+        """
+        self._at(
+            at, "hijack", f"AS{attacker}>{prefix}",
+            lambda: surface.announce(attacker, prefix),
+        )
+        return self
+
+    def leak_route(self, surface, leaker: int, prefix, at: float) -> "FaultPlan":
+        """At ``at``, ``leaker`` re-originates its currently-selected
+        route for ``prefix`` — a path-preserving route leak."""
+        self._at(
+            at, "leak", f"AS{leaker}>{prefix}", lambda: surface.leak(leaker, prefix)
+        )
+        return self
+
+    def withdraw_prefix(self, surface, asn: int, prefix, at: float) -> "FaultPlan":
+        """At ``at``, drop ``asn``'s origination of ``prefix`` (attack
+        ends, or the victim withdraws)."""
+        self._at(
+            at, "withdraw", f"AS{asn}>{prefix}",
+            lambda: surface.withdraw(asn, prefix),
+        )
+        return self

@@ -41,11 +41,14 @@ from array import array
 from collections import OrderedDict
 from heapq import heappop, heappush
 from time import perf_counter
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..telemetry.metrics import MetricsRegistry
 from .routing import Announcement, ASRoute, OriginSpec, RouteKind, RoutingOutcome
 from .topology import ASGraph, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..secroute.policy import CompiledSecurity
 
 __all__ = [
     "CompiledTopology",
@@ -142,13 +145,18 @@ def canonical_key(announcement: Announcement) -> Tuple:
 
     Spec order is preserved (it is semantically significant when one
     origin carries several specs); ``announce_to`` is normalized to a
-    sorted unique tuple since only membership matters.
+    sorted unique tuple since only membership matters.  The prefix is
+    deliberately *not* part of the key: propagation is prefix-agnostic,
+    so announcements of different prefixes with identical steering share
+    one converged outcome.  (Security-filtered runs key the prefix via
+    the policy fingerprint instead — verdicts depend on it.)
     """
     return tuple(
         (
             spec.asn,
             spec.prepend,
             tuple(spec.poison),
+            tuple(spec.path_suffix),
             None if spec.announce_to is None
             else tuple(sorted(set(spec.announce_to))),
         )
@@ -432,6 +440,196 @@ def _converge_single(
     return kind, via, [0] * n, plen
 
 
+def _converge_secure(
+    ct: CompiledTopology,
+    specs: Sequence[Tuple[int, Tuple[int, ...], frozenset, Optional[frozenset]]],
+    sec: "CompiledSecurity",
+) -> Tuple[bytearray, List[int], List[int], List[int]]:
+    """The three Gao–Rexford phases with per-AS security filters.
+
+    Mirrors :func:`_converge` exactly, with two additions derived from a
+    :class:`~repro.secroute.policy.CompiledSecurity`:
+
+    * **ROV drop sets** — per spec, the node indices refusing routes of
+      that spec's (Invalid) origin; checked wherever a node would accept
+      a route.
+    * **Peerlock masks** — ``fmask[i]`` tracks the protected/tier-1 bits
+      of node i's AS path (i itself excluded, mirroring the reference's
+      ``path[1:]`` tail check which skips the first hop).  A candidate
+      popped at ``t`` via ``v`` has tail mask ``fmask[v]`` (or the
+      spec's export-path tail mask ``omask[si]`` for direct origin
+      pushes, distinguished by the rank field exactly as in
+      :func:`_converge`), and commits ``fmask[t] = m | bit(v)``.
+
+    Rejected candidates are skipped without finalizing the slot, so a
+    worse candidate can still fill it later — identical semantics to the
+    reference's pop-time ``security.rejects`` check.  There is no bare-int
+    single-spec fast path here: security runs are correctness-oriented
+    and always carry ``(key, rank, spec)`` tuples plus the mask arrays.
+    """
+    n = ct.n
+    n2 = n * n
+    asns = ct.asns
+    providers = ct.providers
+    customers = ct.customers
+    peers = ct.peers
+    push_ = heappush
+    pop_ = heappop
+
+    # -- index the compiled policy against this topology ---------------------
+    idx = ct.idx
+    drop_idx: List[frozenset] = []
+    omask: List[int] = []
+    for _oi, epath, _eset, _ato in specs:
+        droppers = sec.drops.get(epath[-1])
+        drop_idx.append(
+            frozenset(idx[a] for a in droppers if a in idx)
+            if droppers else frozenset()
+        )
+        omask.append(sec.path_mask(epath[1:]))
+    bit_get = sec.bits.get
+    pm_get = sec.pmask.get
+    lite = sec.lite
+    t1 = sec.t1mask
+    bit_arr = [bit_get(a, 0) for a in asns]
+    pl_arr = [pm_get(a, 0) for a in asns]
+    lt_arr = [t1 if a in lite else 0 for a in asns]
+
+    kind = bytearray(n)
+    via: List[int] = [-1] * n
+    root: List[int] = [-1] * n
+    plen: List[int] = [0] * n
+    fmask: List[int] = [0] * n
+
+    for oi, _epath, _eset, _ato in specs:
+        kind[oi] = _ORIGIN
+    spec_sets = [s[2] for s in specs]
+
+    # ---- Phase 1: customer routes climb provider edges ---------------------
+    heap: List[Tuple[int, Tuple[int, ...], int]] = []
+    for si, (oi, epath, eset, ato) in enumerate(specs):
+        base = len(epath) * n2 + oi * n
+        for p in providers[oi]:
+            pasn = asns[p]
+            if (ato is None or pasn in ato) and pasn not in eset:
+                push_(heap, (base + p, epath, si))
+    while heap:
+        key, rank, si = pop_(heap)
+        t = key % n
+        if kind[t]:
+            continue
+        rest = key // n
+        v = rest % n
+        m = omask[si] if rank else fmask[v]
+        if t in drop_idx[si]:
+            continue
+        if m & (pl_arr[t] | lt_arr[t]):  # from a customer: lite applies
+            continue
+        kind[t] = _CUSTOMER
+        via[t] = v
+        root[t] = si
+        plen[t] = rest // n
+        fmask[t] = m | bit_arr[v]
+        nbase = key - key % n2 + n2 + t * n
+        eset = spec_sets[si]
+        for p in providers[t]:
+            if not kind[p] and asns[p] not in eset:
+                push_(heap, (nbase + p, _NO_RANK, si))
+
+    # ---- Phase 2: one hop across peer edges --------------------------------
+    specs_of_origin: Dict[int, List[int]] = {}
+    for si, (oi, _epath, _eset, _ato) in enumerate(specs):
+        specs_of_origin.setdefault(oi, []).append(si)
+    cand: Dict[int, Tuple[int, int, int, int]] = {}
+    for e in ct.peer_nodes:
+        k = kind[e]
+        if not k:
+            continue
+        pe = peers[e]
+        if k == _ORIGIN:
+            base_spec: Dict[int, Tuple[int, int]] = {}
+            for si in specs_of_origin[e]:
+                _oi, epath, eset, ato = specs[si]
+                pl = len(epath)
+                for p in pe:
+                    if ato is None or asns[p] in ato:
+                        base_spec[p] = (pl, si)
+            for p, (pl, si) in base_spec.items():
+                if kind[p] or asns[p] in spec_sets[si]:
+                    continue
+                if p in drop_idx[si] or omask[si] & pl_arr[p]:
+                    continue
+                inc = cand.get(p)
+                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                    cand[p] = (pl, e, si, omask[si])
+        else:
+            pl = plen[e] + 1
+            si = root[e]
+            eset = spec_sets[si]
+            m = fmask[e]
+            for p in pe:
+                if kind[p] or asns[p] in eset:
+                    continue
+                if p in drop_idx[si] or m & pl_arr[p]:
+                    continue
+                inc = cand.get(p)
+                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                    cand[p] = (pl, e, si, m)
+    for t, (pl, v, si, m) in cand.items():
+        kind[t] = _PEER
+        via[t] = v
+        root[t] = si
+        plen[t] = pl
+        fmask[t] = m | bit_arr[v]
+
+    # ---- Phase 3: routes descend provider->customer edges ------------------
+    heap = []
+    for e in ct.cust_nodes:
+        k = kind[e]
+        if not k:
+            continue
+        cu = customers[e]
+        if k == _ORIGIN:
+            for si in specs_of_origin[e]:
+                _oi, epath, eset, ato = specs[si]
+                base = len(epath) * n2 + e * n
+                for c in cu:
+                    casn = asns[c]
+                    if (ato is None or casn in ato) and casn not in eset:
+                        push_(heap, (base + c, epath, si))
+        else:
+            si = root[e]
+            eset = spec_sets[si]
+            base = (plen[e] + 1) * n2 + e * n
+            for c in cu:
+                if not kind[c] and asns[c] not in eset:
+                    push_(heap, (base + c, _NO_RANK, si))
+    while heap:
+        key, rank, si = pop_(heap)
+        t = key % n
+        if kind[t]:
+            continue
+        rest = key // n
+        v = rest % n
+        m = omask[si] if rank else fmask[v]
+        if t in drop_idx[si]:
+            continue
+        if m & pl_arr[t]:  # provider route: lite does not apply
+            continue
+        kind[t] = _PROVIDER
+        via[t] = v
+        root[t] = si
+        plen[t] = rest // n
+        fmask[t] = m | bit_arr[v]
+        nbase = key - key % n2 + n2 + t * n
+        eset = spec_sets[si]
+        for c in customers[t]:
+            if not kind[c] and asns[c] not in eset:
+                push_(heap, (nbase + c, _NO_RANK, si))
+
+    return kind, via, root, plen
+
+
 class CompiledOutcome(RoutingOutcome):
     """A :class:`RoutingOutcome` backed by the compact parent-pointer
     table.  AS paths (and :class:`ASRoute` objects) materialize lazily
@@ -691,27 +889,51 @@ class PropagationEngine:
     # -- single announcement --------------------------------------------------
 
     def propagate(
-        self, announcement: Announcement, use_cache: bool = True
+        self,
+        announcement: Announcement,
+        use_cache: bool = True,
+        security: Optional["CompiledSecurity"] = None,
     ) -> RoutingOutcome:
         """Converged routes for ``announcement``; drop-in for
-        :func:`repro.inet.routing.propagate`."""
+        :func:`repro.inet.routing.propagate`.
+
+        ``security`` applies per-AS import filters (ROV drop-invalid,
+        Peerlock) exactly as the reference path does; a ``SecurityPolicy``
+        is compiled against the announcement automatically.  The cache
+        key gains the policy fingerprint, so outcomes computed under
+        different security configurations (or ROA registry versions)
+        never alias."""
         compiled = self.compiled()
+        if security is not None and hasattr(security, "compile_for"):
+            security = security.compile_for(announcement)  # type: ignore[attr-defined]
+        if security is not None and not security.active:
+            security = None
         if use_cache:
-            key = (compiled.version, canonical_key(announcement))
+            key = (
+                compiled.version,
+                canonical_key(announcement),
+                None if security is None else security.fingerprint,
+            )
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        outcome = self._run(compiled, announcement)
+        outcome = self._run(compiled, announcement, security)
         if use_cache:
             self.cache.put(key, outcome)
         return outcome
 
     def _run(
-        self, compiled: CompiledTopology, announcement: Announcement
+        self,
+        compiled: CompiledTopology,
+        announcement: Announcement,
+        security: Optional["CompiledSecurity"] = None,
     ) -> CompiledOutcome:
         started = perf_counter()
         specs = _compile_specs(compiled, announcement)
-        table = _converge(compiled, specs)
+        if security is None:
+            table = _converge(compiled, specs)
+        else:
+            table = _converge_secure(compiled, specs, security)
         spec_paths = tuple(s[1] for s in specs)
         outcome = CompiledOutcome(self.graph, compiled, table, spec_paths)
         self._runs.inc()
@@ -725,17 +947,28 @@ class PropagationEngine:
         announcements: Sequence[Announcement],
         parallel: Optional[int] = None,
         use_cache: bool = True,
+        security: Optional["CompiledSecurity"] = None,
     ) -> List[RoutingOutcome]:
         """Converge a whole sweep; with ``parallel=N`` fan the cache
         misses out over N worker processes sharing one compiled topology.
+
+        Secured sweeps run serially in-process: the policy compiles
+        per-announcement (verdicts depend on prefix and origins), and
+        shipping mask tables to pool workers is not worth it for the
+        campaign-sized workloads that use them.
         """
+        if security is not None:
+            return [
+                self.propagate(a, use_cache=use_cache, security=security)
+                for a in announcements
+            ]
         announcements = list(announcements)
         compiled = self.compiled()
         results: List[Optional[RoutingOutcome]] = [None] * len(announcements)
         miss_idx: List[int] = []
         keys: List[Tuple] = []
         for i, announcement in enumerate(announcements):
-            key = (compiled.version, canonical_key(announcement))
+            key = (compiled.version, canonical_key(announcement), None)
             keys.append(key)
             cached = self.cache.get(key) if use_cache else None
             if cached is not None:

@@ -20,20 +20,52 @@ search, which yields the unique stable solution under these policies.
 
 Experiments hook in through :class:`OriginSpec`: multiple origins
 (anycast / hijack), AS-path prepending, AS-path poisoning (loop-detection
-steering, as used by LIFEGUARD), and selective announcement to a subset
-of neighbors (the PEERING mux's per-peer announcement control).
+steering, as used by LIFEGUARD), selective announcement to a subset
+of neighbors (the PEERING mux's per-peer announcement control), and
+``path_suffix`` stuffing (route-leak emulation: the leaker re-originates
+a learned path, so the announcement looks like a customer route while
+still ending at the legitimate origin).
+
+Security hooks: ``propagate(..., security=...)`` accepts a
+:class:`repro.secroute.policy.CompiledSecurity` (or a
+:class:`~repro.secroute.policy.SecurityPolicy`, compiled on the fly) and
+applies per-AS route filters — RFC 6811 drop-invalid ROV and Peerlock
+leak containment — at every acceptance point.  A rejected candidate is
+simply never selected; worse candidates can still fill the slot, exactly
+as on a real router that filtered the best path.  The compiled engine
+(:mod:`repro.inet.engine`) implements the identical predicate over bit
+masks; equivalence is property-tested.
+
+Announcements optionally carry the :class:`~repro.net.addr.Prefix` they
+are for.  Propagation itself is prefix-agnostic (each prefix converges
+independently), but the prefix feeds RPKI origin validation and lets
+:func:`resolve_lpm` combine per-prefix outcomes into the
+longest-prefix-match forwarding decision — how a sub-prefix hijack
+captures traffic even from ASes that still hold the covering route.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 from enum import IntEnum
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..net.addr import IPAddress, Prefix
 from .topology import ASGraph
 
-__all__ = ["RouteKind", "ASRoute", "OriginSpec", "Announcement", "RoutingOutcome", "propagate"]
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..secroute.policy import CompiledSecurity
+
+__all__ = [
+    "RouteKind",
+    "ASRoute",
+    "OriginSpec",
+    "Announcement",
+    "RoutingOutcome",
+    "propagate",
+    "resolve_lpm",
+]
 
 
 class RouteKind(IntEnum):
@@ -76,30 +108,44 @@ class OriginSpec:
       listed ASes reject the route via loop detection.
     * ``announce_to`` — neighbors to announce to (None = all neighbors);
       this is the PEERING "pick and choose peers" control.
+    * ``path_suffix`` — ASNs appended after everything else.  A route
+      leak is ``OriginSpec(asn=leaker, path_suffix=leaked_path)``: the
+      leaker re-originates a learned route, so neighbors see
+      ``leaker, …suffix…, true_origin`` — origin-valid under RPKI (that
+      is why leaks need Peerlock, not ROV), rejected via loop detection
+      by ASes already on the suffix, and propagated by the leaker's
+      providers as if it were a customer route.
     """
 
     asn: int
     prepend: int = 0
     poison: Tuple[int, ...] = ()
     announce_to: Optional[Tuple[int, ...]] = None
+    path_suffix: Tuple[int, ...] = ()
 
     def export_path(self) -> Tuple[int, ...]:
         path = (self.asn,) * (1 + self.prepend)
         if self.poison:
             path = path + tuple(self.poison) + (self.asn,)
-        return path
+        return path + tuple(self.path_suffix)
 
 
 @dataclass(frozen=True)
 class Announcement:
     """One prefix-level announcement, possibly multi-origin (anycast or
-    hijack experiments announce the same prefix from several ASes)."""
+    hijack experiments announce the same prefix from several ASes).
+
+    ``prefix`` is optional: propagation is prefix-agnostic, but origin
+    validation (:mod:`repro.secroute`) and longest-prefix-match
+    resolution across several announcements (:func:`resolve_lpm`) need
+    to know which prefix the announcement is for."""
 
     origins: Tuple[OriginSpec, ...]
+    prefix: Optional[Prefix] = None
 
     @classmethod
-    def single(cls, asn: int, **kwargs) -> "Announcement":
-        return cls(origins=(OriginSpec(asn=asn, **kwargs),))
+    def single(cls, asn: int, prefix: Optional[Prefix] = None, **kwargs) -> "Announcement":
+        return cls(origins=(OriginSpec(asn=asn, **kwargs),), prefix=prefix)
 
     def origin_asns(self) -> Set[int]:
         return {spec.asn for spec in self.origins}
@@ -169,8 +215,21 @@ class RoutingOutcome:
         )
 
 
-def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
-    """Compute the converged routes for ``announcement`` on ``graph``."""
+def propagate(
+    graph: ASGraph,
+    announcement: Announcement,
+    security: Optional["CompiledSecurity"] = None,
+) -> RoutingOutcome:
+    """Compute the converged routes for ``announcement`` on ``graph``.
+
+    ``security`` applies per-AS import filters (ROV drop-invalid,
+    Peerlock) at every acceptance point; a ``SecurityPolicy`` is compiled
+    against the announcement automatically.
+    """
+    if security is not None and hasattr(security, "compile_for"):
+        security = security.compile_for(announcement)  # type: ignore[attr-defined]
+    if security is not None and not security.active:
+        security = None
     selected: Dict[int, ASRoute] = {}
 
     # Origins select their own announcement.
@@ -195,6 +254,8 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
         length, via, target, path = heapq.heappop(up_heap)
         if target in up_routes or target in selected:
             continue
+        if security is not None and security.rejects(target, path, True):
+            continue  # filtered; a worse candidate may still fill the slot
         route = ASRoute(kind=RouteKind.CUSTOMER, path=path, via=via)
         up_routes[target] = route
         new_path = (target,) + path
@@ -223,6 +284,8 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
         for peer in sorted(base_paths):
             path = base_paths[peer]
             if peer in selected or peer in path:
+                continue
+            if security is not None and security.rejects(peer, path, False):
                 continue
             candidate = ASRoute(kind=RouteKind.PEER, path=path, via=exporter)
             incumbent = peer_routes.get(peer)
@@ -254,6 +317,8 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
         length, via, target, path = heapq.heappop(down_heap)
         if target in selected or target in down_routes:
             continue
+        if security is not None and security.rejects(target, path, False):
+            continue
         route = ASRoute(kind=RouteKind.PROVIDER, path=path, via=via)
         down_routes[target] = route
         new_path = (target,) + path
@@ -267,3 +332,29 @@ def propagate(graph: ASGraph, announcement: Announcement) -> RoutingOutcome:
     selected.update(down_routes)
 
     return RoutingOutcome(graph, selected)
+
+
+def resolve_lpm(
+    outcomes: Mapping[Prefix, RoutingOutcome],
+    asn: int,
+    target: Union[IPAddress, Prefix],
+) -> Optional[Tuple[Prefix, ASRoute]]:
+    """Longest-prefix-match forwarding decision for one AS across several
+    converged announcements.
+
+    Among the announced prefixes that contain ``target`` and for which
+    ``asn`` holds a route, the most specific wins — the data-plane rule
+    that makes a sub-prefix hijack effective even against ASes that still
+    hold the covering legitimate route.  Returns ``(prefix, route)`` or
+    None when nothing covers the target at this AS.
+    """
+    best: Optional[Tuple[Prefix, ASRoute]] = None
+    for prefix, outcome in outcomes.items():
+        if not prefix.contains(target):
+            continue
+        route = outcome.route(asn)
+        if route is None:
+            continue
+        if best is None or prefix.length > best[0].length:
+            best = (prefix, route)
+    return best

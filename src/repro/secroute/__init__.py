@@ -1,0 +1,55 @@
+"""Route security for the simulated Internet: RPKI/ROV, Peerlock, and
+the attack-campaign harness that measures them.
+
+The testbed-side safety layer (:mod:`repro.core.safety`, :mod:`repro.guard`)
+protects the Internet *from the testbed*; this package gives the
+substrate its own defenses and the machinery to score them:
+
+* :mod:`~repro.secroute.rpki` — ROAs, the registry, RFC 6811 validation.
+* :mod:`~repro.secroute.policy` — per-AS deployment (ROV modes,
+  Peerlock, Peerlock-lite) compiled into the filter form both
+  propagation paths consume.
+* :mod:`~repro.secroute.campaign` — seeded hijack/leak campaigns and
+  coverage-vs-deployment curves (imported lazily: it pulls in the
+  propagation engines and the synthetic-Internet generator).
+"""
+
+from .policy import CompiledSecurity, RovMode, SecurityPolicy
+from .rpki import Roa, RoaRegistry, ValidationState
+
+__all__ = [
+    "ValidationState",
+    "Roa",
+    "RoaRegistry",
+    "RovMode",
+    "SecurityPolicy",
+    "CompiledSecurity",
+    # lazily re-exported from .campaign (PEP 562):
+    "secure_propagate",
+    "AttackSurface",
+    "CampaignConfig",
+    "ScenarioResult",
+    "CampaignResult",
+    "run_campaign",
+    "SCENARIOS",
+]
+
+_CAMPAIGN_EXPORTS = frozenset(
+    {
+        "secure_propagate",
+        "AttackSurface",
+        "CampaignConfig",
+        "ScenarioResult",
+        "CampaignResult",
+        "run_campaign",
+        "SCENARIOS",
+    }
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

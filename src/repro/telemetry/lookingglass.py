@@ -30,18 +30,32 @@ from .routemon import RouteMonitor, SpecLike
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..core.testbed import Testbed
     from ..inet.routing import ASRoute
+    from ..secroute.rpki import RoaRegistry, ValidationState
 
 __all__ = ["LookingGlass"]
 
 
 class LookingGlass:
-    """Query service over the testbed's converged and monitored state."""
+    """Query service over the testbed's converged and monitored state.
+
+    ``roas`` (or the testbed's own adopted registry) adds the RPKI view:
+    per-route RFC 6811 validation state, rendered alongside each vantage
+    line — what a real looking glass shows as ``RPKI: valid``."""
 
     def __init__(
-        self, testbed: "Testbed", monitor: Optional[RouteMonitor] = None
+        self,
+        testbed: "Testbed",
+        monitor: Optional[RouteMonitor] = None,
+        roas: Optional["RoaRegistry"] = None,
     ) -> None:
         self.testbed = testbed
         self.monitor = monitor
+        self.roas = roas
+
+    def _registry(self) -> Optional["RoaRegistry"]:
+        if self.roas is not None:
+            return self.roas
+        return getattr(self.testbed, "roas", None)
 
     # -- substrate view (converged routes) ------------------------------------
 
@@ -66,6 +80,23 @@ class LookingGlass:
         """How many ASes currently hold a route for ``prefix``."""
         outcome = self.testbed.outcome_for(prefix)
         return len(outcome) if outcome is not None else 0
+
+    # -- RPKI view (origin validation) -----------------------------------------
+
+    def validation_state(
+        self, prefix: Prefix, vantage: int
+    ) -> Optional["ValidationState"]:
+        """RFC 6811 state of the route ``vantage`` selected for
+        ``prefix``: the ROA registry's verdict on (prefix, path origin).
+        None when no registry is wired or the vantage has no route."""
+        registry = self._registry()
+        if registry is None:
+            return None
+        route = self.route(prefix, vantage)
+        if route is None:
+            return None
+        origin = route.path[-1] if route.path else self.testbed.asn
+        return registry.validate(prefix, origin)
 
     # -- origination view (announcement registry) -----------------------------
 
@@ -124,5 +155,7 @@ class LookingGlass:
         for vantage in vantages or []:
             path = self.as_path(prefix, vantage)
             shown = " ".join(str(a) for a in path) if path is not None else "(no route)"
-            lines.append(f"  AS{vantage}: {shown}")
+            state = self.validation_state(prefix, vantage)
+            rpki = "" if state is None else f"  [RPKI: {state.value}]"
+            lines.append(f"  AS{vantage}: {shown}{rpki}")
         return "\n".join(lines)

@@ -105,8 +105,10 @@ class TestAnnouncements:
         client1.attach("amsterdam01")
         client2.attach("amsterdam01")
         client1.announce(client1.prefixes[0])
+        # Announcing another experiment's space is audited as a squat
+        # (an intra-testbed hijack), not a mere unallocated prefix.
         decision = client2.announce(client1.prefixes[0])["amsterdam01"]
-        assert decision.verdict is SafetyVerdict.PREFIX_NOT_ALLOCATED
+        assert decision.verdict is SafetyVerdict.PREFIX_SQUAT
 
     def test_selective_peers(self, fresh_testbed):
         client = fresh_testbed.register_client("exp1", "alice")

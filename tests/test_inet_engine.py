@@ -157,6 +157,54 @@ def test_property_engine_matches_reference(seed):
         assert reference.reachable_asns() == compiled.reachable_asns()
 
 
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_subprefix_lpm_matches_reference(seed):
+    """Sub-prefix hijack shape: a covering /20 and a more-specific /24
+    from different origins.  Both engines must converge each prefix
+    identically, and longest-prefix match over the pair must pick the
+    same (prefix, route) at every AS — the data-plane outcome a
+    sub-prefix hijack is judged by."""
+    from repro.inet.routing import resolve_lpm
+    from repro.net.addr import IPAddress, Prefix
+
+    covering_pfx = Prefix("198.18.0.0/20")
+    specific_pfx = Prefix("198.18.0.0/24")
+    rng = random.Random(seed)
+    inet = build_internet(InternetConfig(n_ases=80, seed=seed))
+    graph = inet.graph
+    engine = PropagationEngine(graph)
+    asns = sorted(graph.asns())
+    victim = rng.choice(asns)
+    attacker = rng.choice([a for a in asns if a != victim])
+    covering = Announcement.single(victim, prefix=covering_pfx)
+    specific = Announcement.single(attacker, prefix=specific_pfx)
+
+    ref = {
+        covering_pfx: propagate(graph, covering),
+        specific_pfx: propagate(graph, specific),
+    }
+    eng = {
+        covering_pfx: engine.propagate(covering, use_cache=False),
+        specific_pfx: engine.propagate(specific, use_cache=False),
+    }
+    for prefix in (covering_pfx, specific_pfx):
+        assert dict(ref[prefix].items()) == dict(eng[prefix].items())
+
+    inside = IPAddress("198.18.0.77")  # in the /24
+    outside = IPAddress("198.18.8.1")  # in the /20 only
+    for asn in rng.sample(asns, 20):
+        for target in (inside, outside, specific_pfx, covering_pfx):
+            assert resolve_lpm(ref, asn, target) == resolve_lpm(eng, asn, target)
+        hit = resolve_lpm(eng, asn, inside)
+        if eng[specific_pfx].reaches(asn):
+            # The more-specific always wins where it is routable.
+            assert hit is not None and hit[0] == specific_pfx
+        out = resolve_lpm(eng, asn, outside)
+        if out is not None:
+            assert out[0] == covering_pfx
+
+
 class TestCompilation:
     def test_compiles_once_per_version(self):
         g = graph_from_edges(c2p=[(5, 3), (3, 1)])
