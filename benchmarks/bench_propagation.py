@@ -6,20 +6,30 @@ smoke step and gate on regressions:
     PYTHONPATH=src python benchmarks/bench_propagation.py \\
         --output BENCH_propagation.json --check
 
-Measures three regimes on a seeded internet:
+Measures four regimes on a seeded internet:
 
 * **single_shot** — one cold announcement, reference ``propagate()`` vs
   ``PropagationEngine.propagate(use_cache=False)``;
 * **cached** — the same announcement served repeatedly from the LRU
   result cache;
+* **delta** — a single-announcement steering change (prepend bump)
+  recomputed via ``propagate_delta`` against a full reconvergence;
 * **sweep** — a 100-point steering sweep (selective announcement +
   prepend + poison variations from one origin), reference serial vs
-  engine serial vs ``propagate_many(parallel=N)``.
+  engine serial (delta-chained) vs ``propagate_many(parallel=N)``.
 
-``--check`` compares the measured single-shot speedup against the
-committed baseline (``BENCH_propagation_baseline.json``) and fails when
-it degrades by more than 2x — a ratio-of-ratios gate, so it tolerates
-slow CI machines but catches real regressions in the compiled kernel.
+``--scale`` switches to the Internet-scale harness: a CAIDA-calibrated
+50k-AS topology from ``build_caida_like``, timing graph build, compile +
+first convergence, the delta regimes, and a 100-point delta-chained
+sweep.  Results go to ``BENCH_propagation_scale.json`` and are gated
+against ``BENCH_propagation_scale_baseline.json``.
+
+``--check`` compares measured speedups against the committed baseline
+and fails when one degrades by more than 2x — a ratio-of-ratios gate, so
+it tolerates slow CI machines but catches real regressions in the
+compiled kernel.  The delta gate additionally enforces the hard 10x
+floor for single-announcement incremental reconvergence, and the scale
+gate bounds the 50k sweep wall-clock relative to its baseline.
 """
 
 from __future__ import annotations
@@ -32,10 +42,22 @@ import time
 from pathlib import Path
 
 from repro.inet.engine import PropagationEngine, default_parallelism
-from repro.inet.gen import InternetConfig, build_internet
+from repro.inet.gen import (
+    InternetConfig,
+    build_caida_like,
+    build_internet,
+    degree_stats,
+)
 from repro.inet.routing import Announcement, OriginSpec, propagate
 
 BASELINE = Path(__file__).with_name("BENCH_propagation_baseline.json")
+SCALE_BASELINE = Path(__file__).with_name(
+    "BENCH_propagation_scale_baseline.json"
+)
+
+# Hard floor for the delta regime: a single-announcement steering change
+# must reconverge at least this much faster than a full recompute.
+DELTA_FLOOR = 10.0
 
 
 def build_world(quick: bool):
@@ -89,6 +111,32 @@ def timed(fn, repeat=1):
     return best
 
 
+def delta_regime(engine, origin, repeat=5):
+    """Single-announcement steering change: full vs incremental.
+
+    A prepend bump is the canonical steering knob (PEERING §3) and the
+    cheapest delta class — same origin/export sets, uniform path-length
+    shift — so this measures the engine's best-case incremental
+    reconvergence against a cold full converge of the same variant.
+    """
+    base = Announcement.single(origin)
+    variant = Announcement(origins=(OriginSpec(asn=origin, prepend=2),))
+    prev = engine.propagate(base, use_cache=False)
+
+    full_s = timed(
+        lambda: engine.propagate(variant, use_cache=False), repeat
+    )
+    delta_s = timed(
+        lambda: engine.propagate_delta(prev, variant, use_cache=False),
+        repeat,
+    )
+    return {
+        "full_s": round(full_s, 6),
+        "delta_s": round(delta_s, 6),
+        "speedup": round(full_s / delta_s, 1),
+    }
+
+
 def run_benchmarks(quick: bool, parallel: int):
     graph = build_world(quick)
     origin = pick_origin(graph)
@@ -110,6 +158,8 @@ def run_benchmarks(quick: bool, parallel: int):
             engine.propagate(announcement)
 
     cached_100 = timed(cached_run, repeat)
+
+    delta = delta_regime(engine, origin)
 
     points = 20 if quick else 100
     sweep = steering_sweep(graph, origin, points)
@@ -146,6 +196,7 @@ def run_benchmarks(quick: bool, parallel: int):
             "per_hit_us": round(cached_100 / 100 * 1e6, 3),
             "speedup_vs_reference": round(single_ref / (cached_100 / 100), 1),
         },
+        "delta": delta,
         "sweep": {
             "reference_s": round(sweep_ref, 6),
             "engine_serial_s": round(sweep_eng, 6),
@@ -157,20 +208,136 @@ def run_benchmarks(quick: bool, parallel: int):
     }
 
 
-def check_regression(results) -> int:
+def run_scale_benchmarks(n_ases: int):
+    """Internet-scale regime: CAIDA-calibrated topology, delta sweeps.
+
+    No reference-propagator comparison here — at 50k ASes the reference
+    run would dominate the whole benchmark; the gates are the delta
+    speedup (machine-independent ratio) and the sweep wall-clock
+    relative to the committed baseline.
+    """
+    build_start = time.perf_counter()
+    world = build_caida_like(n_ases)
+    build_s = time.perf_counter() - build_start
+    graph = world.graph
+
+    engine = PropagationEngine(graph)
+    origin = pick_origin(graph)
+    announcement = Announcement.single(origin)
+
+    compile_start = time.perf_counter()
+    engine.compiled()
+    engine.propagate(announcement, use_cache=False)
+    first_converge_s = time.perf_counter() - compile_start
+
+    repeat_converge_s = timed(
+        lambda: engine.propagate(announcement, use_cache=False), 3
+    )
+
+    delta = delta_regime(engine, origin)
+
+    sweep = steering_sweep(graph, origin, 100)
+    sweep_s = timed(lambda: engine.propagate_many(sweep, use_cache=False))
+    stats = engine.stats()
+
+    return {
+        "config": {
+            "scale": True,
+            "n_ases": len(graph),
+            "sweep_points": len(sweep),
+            "origin": origin,
+        },
+        "topology": {
+            "build_s": round(build_s, 3),
+            **{k: round(v, 4) for k, v in degree_stats(graph).items()},
+        },
+        "converge": {
+            "compile_and_first_s": round(first_converge_s, 3),
+            "repeat_full_s": round(repeat_converge_s, 6),
+        },
+        "delta": delta,
+        "sweep": {
+            "total_s": round(sweep_s, 3),
+            "per_point_ms": round(sweep_s / len(sweep) * 1e3, 3),
+        },
+        "engine_stats": stats,
+    }
+
+
+def _gate(label, now, floor, failures):
+    status = "ok" if now >= floor else "FAIL"
+    print(f"regression gate [{label}]: {now:.2f} (floor {floor:.2f}) {status}")
+    if now < floor:
+        failures.append(label)
+
+
+def check_regression(results, quick: bool = False) -> int:
     if not BASELINE.exists():
         print(f"no baseline at {BASELINE}; skipping regression check")
         return 0
     baseline = json.loads(BASELINE.read_text())
-    base_speedup = baseline["single_shot"]["speedup"]
-    now_speedup = results["single_shot"]["speedup"]
-    floor = base_speedup / 2
-    print(
-        f"regression gate: single-shot speedup {now_speedup:.2f}x "
-        f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)"
+    failures: list = []
+    # Quick smoke runs use a 300-AS world but the committed baseline is
+    # recorded at full size, where the compiled engine's advantage is
+    # larger; give them 4x headroom instead of 2x.
+    div = 4 if quick else 2
+    _gate(
+        "single-shot speedup",
+        results["single_shot"]["speedup"],
+        baseline["single_shot"]["speedup"] / div,
+        failures,
     )
-    if now_speedup < floor:
-        print("FAIL: compiled engine regressed >2x vs committed baseline")
+    _gate(
+        "sweep serial speedup",
+        results["sweep"]["serial_speedup"],
+        baseline["sweep"]["serial_speedup"] / div,
+        failures,
+    )
+    if quick:
+        # The delta ratio grows with topology size (fixed per-call cost
+        # vs O(n) full reconvergence), so a 300-AS smoke run can't be
+        # held to a floor derived from the full-size baseline.
+        print("regression gate [delta speedup]: skipped in --quick "
+              "(gated in full and --scale runs)")
+    else:
+        base_delta = baseline.get("delta", {}).get("speedup", DELTA_FLOOR)
+        _gate(
+            "delta speedup",
+            results["delta"]["speedup"],
+            max(DELTA_FLOOR, base_delta / 2),
+            failures,
+        )
+    if failures:
+        print(f"FAIL: regressed vs committed baseline: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def check_scale_regression(results) -> int:
+    if not SCALE_BASELINE.exists():
+        print(f"no baseline at {SCALE_BASELINE}; skipping regression check")
+        return 0
+    baseline = json.loads(SCALE_BASELINE.read_text())
+    failures: list = []
+    base_delta = baseline["delta"]["speedup"]
+    _gate(
+        "scale delta speedup",
+        results["delta"]["speedup"],
+        max(DELTA_FLOOR, base_delta / 2),
+        failures,
+    )
+    # Absolute wall-clock bound, but relative to the committed baseline
+    # (which itself records a single-digit-second sweep) so slow CI
+    # machines get 3x headroom before this trips.
+    sweep_budget = baseline["sweep"]["total_s"] * 3
+    _gate(
+        "scale sweep budget (inverted, s)",
+        sweep_budget - results["sweep"]["total_s"],
+        0.0,
+        failures,
+    )
+    if failures:
+        print(f"FAIL: regressed vs committed baseline: {', '.join(failures)}")
         return 1
     return 0
 
@@ -181,7 +348,18 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="small config for CI smoke runs"
     )
     parser.add_argument(
-        "--output", default="BENCH_propagation.json", help="result JSON path"
+        "--scale",
+        action="store_true",
+        help="Internet-scale regime: 50k-AS CAIDA-like topology",
+    )
+    parser.add_argument(
+        "--n-ases",
+        type=int,
+        default=50_000,
+        help="topology size for --scale (default 50000)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="result JSON path"
     )
     parser.add_argument(
         "--parallel",
@@ -192,16 +370,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail on >2x single-shot regression vs committed baseline",
+        help="fail on >2x regression vs committed baseline "
+        "(single-shot, sweep, and delta gates; 10x delta floor)",
     )
     args = parser.parse_args(argv)
 
-    parallel = args.parallel or default_parallelism()
-    results = run_benchmarks(args.quick, parallel)
-    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    if args.scale:
+        results = run_scale_benchmarks(args.n_ases)
+        output = args.output or "BENCH_propagation_scale.json"
+    else:
+        parallel = args.parallel or default_parallelism()
+        results = run_benchmarks(args.quick, parallel)
+        output = args.output or "BENCH_propagation.json"
+    Path(output).write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     if args.check:
-        return check_regression(results)
+        if args.scale:
+            return check_scale_regression(results)
+        return check_regression(results, quick=args.quick)
     return 0
 
 

@@ -41,7 +41,10 @@ from array import array
 from collections import OrderedDict
 from heapq import heappop, heappush
 from time import perf_counter
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Callable, Dict, FrozenSet, Iterator, List, Optional,
+    Sequence, Set, Tuple,
+)
 
 from ..telemetry.metrics import MetricsRegistry
 from .routing import Announcement, ASRoute, OriginSpec, RouteKind, RoutingOutcome
@@ -68,6 +71,24 @@ _PROVIDER = int(RouteKind.PROVIDER)
 # when (pathlen, via, target) tie between two specs of one origin.
 _NO_RANK: Tuple[int, ...] = ()
 
+# One compiled origin spec: (origin_index, export_path, export_set,
+# announce_to_set); and the parent-pointer route table (kind, via, root,
+# plen) every converge function returns.
+SpecT = Tuple[int, Tuple[int, ...], FrozenSet[int], Optional[FrozenSet[int]]]
+TableT = Tuple[bytearray, List[int], List[int], List[int]]
+
+# _converge_delta gives up (falls back to a full run) when the dirty cone
+# exceeds n / _CONE_BAIL_DEN slots — incremental work on a region that
+# large loses to the heap-free full converge.
+_CONE_BAIL_DEN = 3
+
+
+class _DeltaUnsupported(Exception):
+    """An incremental convergence hit a corner whose reference semantics
+    depend on state the delta keeps frozen (equal-key ties across specs,
+    improvements into surviving entries under security filters).  The
+    caller falls back to a full run — correctness over cleverness."""
+
 
 class CompiledTopology:
     """An :class:`ASGraph` frozen into int-indexed adjacency arrays.
@@ -93,7 +114,7 @@ class CompiledTopology:
         idx = {asn: i for i, asn in enumerate(asns)}
         self.idx: Dict[int, int] = idx
 
-        def build(sorted_of) -> Tuple[array, array]:
+        def build(sorted_of: Callable[[int], Tuple[int, ...]]) -> Tuple[array, array]:
             adj = array("l")
             off = array("l", [0])
             for asn in asns:
@@ -122,7 +143,7 @@ class CompiledTopology:
 
     # -- pickling (pool workers get the CSR arrays, not the tuple views) ------
 
-    def __getstate__(self):
+    def __getstate__(self) -> Tuple:
         return (
             self.version, self.asns,
             self.prov_off, self.prov_adj,
@@ -130,7 +151,7 @@ class CompiledTopology:
             self.peer_off, self.peer_adj,
         )
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Tuple) -> None:
         (self.version, self.asns,
          self.prov_off, self.prov_adj,
          self.cust_off, self.cust_adj,
@@ -166,9 +187,9 @@ def canonical_key(announcement: Announcement) -> Tuple:
 
 def _compile_specs(
     compiled: CompiledTopology, announcement: Announcement
-) -> Tuple[Tuple[int, Tuple[int, ...], frozenset, Optional[frozenset]], ...]:
+) -> Tuple[SpecT, ...]:
     """Per-spec (origin_index, export_path, export_set, announce_to_set)."""
-    specs = []
+    specs: List[SpecT] = []
     for spec in announcement.origins:
         oi = compiled.idx.get(spec.asn)
         if oi is None:
@@ -181,8 +202,8 @@ def _compile_specs(
 
 def _converge(
     ct: CompiledTopology,
-    specs: Sequence[Tuple[int, Tuple[int, ...], frozenset, Optional[frozenset]]],
-) -> Tuple[bytearray, List[int], List[int], List[int]]:
+    specs: Sequence[SpecT],
+) -> TableT:
     """Run the three Gao–Rexford phases over the compiled topology.
 
     Returns the parent-pointer route table ``(kind, via, root, plen)``:
@@ -334,19 +355,29 @@ def _converge_single(
     ct: CompiledTopology,
     oi: int,
     epath: Tuple[int, ...],
-    eset: frozenset,
-    ato: Optional[frozenset],
-) -> Tuple[bytearray, List[int], List[int], List[int]]:
-    """Single-origin-spec fast path: bare-int heap keys (always unique),
-    no per-entry spec bookkeeping.  This is the sweep workhorse."""
+    eset: FrozenSet[int],
+    ato: Optional[FrozenSet[int]],
+) -> TableT:
+    """Single-origin-spec fast path: heap-free, level-synchronous frontier
+    batching.  This is the sweep workhorse.
+
+    With one spec every edge has unit weight, so the phase-1/phase-3
+    Dijkstra degenerates into a BFS by path-length *levels*.  Processing
+    levels in ascending order, and the frontier of each level in
+    ascending exporter index (= ascending via ASN), makes the first
+    writer of a slot the minimum ``(pathlen, via, target)`` key — exactly
+    the reference heap's pop order, without a single heap operation.
+
+    The two pop-time predicates ("already has a route" and "ASN appears
+    on the export path") fuse into one ``avail`` bytearray: a slot is 1
+    iff it is neither settled nor blocked by the export set, so the
+    per-edge inner loop is one C-level index read.
+    """
     n = ct.n
-    n2 = n * n
     asns = ct.asns
     providers = ct.providers
     customers = ct.customers
     peers = ct.peers
-    push_ = heappush
-    pop_ = heappop
 
     kind = bytearray(n)
     via: List[int] = [-1] * n
@@ -354,28 +385,43 @@ def _converge_single(
     kind[oi] = _ORIGIN
     pl0 = len(epath)
 
-    # ---- Phase 1: up provider edges ----------------------------------------
-    heap: List[int] = []
-    base = pl0 * n2 + oi * n
+    avail = bytearray(b"\x01") * n
+    avail[oi] = 0
+    if len(eset) > 1:  # poison / suffix ASNs present in the graph block slots
+        idx_get = ct.idx.get
+        for blocked_asn in eset:
+            bi = idx_get(blocked_asn)
+            if bi is not None:
+                avail[bi] = 0
+
+    # ---- Phase 1: up provider edges (level-batched BFS) --------------------
+    frontier: List[int] = []
     for p in providers[oi]:
-        pasn = asns[p]
-        if (ato is None or pasn in ato) and pasn not in eset:
-            push_(heap, base + p)
-    while heap:
-        key = pop_(heap)
-        t = key % n
-        if kind[t]:
-            continue
-        rest = key // n
-        kind[t] = _CUSTOMER
-        via[t] = rest % n
-        plen[t] = rest // n
-        nbase = key - key % n2 + n2 + t * n
-        for p in providers[t]:
-            if not kind[p] and asns[p] not in eset:
-                push_(heap, nbase + p)
+        if avail[p] and (ato is None or asns[p] in ato):
+            avail[p] = 0
+            kind[p] = _CUSTOMER
+            via[p] = oi
+            plen[p] = pl0
+            frontier.append(p)
+    lvl = pl0
+    while frontier:
+        frontier.sort()
+        lvl += 1
+        nxt: List[int] = []
+        for v in frontier:
+            for t in providers[v]:
+                if avail[t]:
+                    avail[t] = 0
+                    kind[t] = _CUSTOMER
+                    via[t] = v
+                    plen[t] = lvl
+                    nxt.append(t)
+        frontier = nxt
 
     # ---- Phase 2: one peer hop ---------------------------------------------
+    # Exporters iterate in ascending index, so the first candidate seen at
+    # a given path length already has the lowest via — the incumbent check
+    # needs only the strict length comparison.
     cand: Dict[int, Tuple[int, int]] = {}
     cand_get = cand.get
     for e in ct.peer_nodes:
@@ -385,66 +431,68 @@ def _converge_single(
         if k == _ORIGIN:
             pl = pl0
             for p in peers[e]:
-                pasn = asns[p]
-                if ato is not None and pasn not in ato:
-                    continue
-                if kind[p] or pasn in eset:
+                if not avail[p] or (ato is not None and asns[p] not in ato):
                     continue
                 inc = cand_get(p)
-                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                if inc is None or pl < inc[0]:
                     cand[p] = (pl, e)
         else:
             pl = plen[e] + 1
             for p in peers[e]:
-                if kind[p] or asns[p] in eset:
+                if not avail[p]:
                     continue
                 inc = cand_get(p)
-                if inc is None or pl < inc[0] or (pl == inc[0] and e < inc[1]):
+                if inc is None or pl < inc[0]:
                     cand[p] = (pl, e)
     for t, (pl, v) in cand.items():
+        avail[t] = 0
         kind[t] = _PEER
         via[t] = v
         plen[t] = pl
 
-    # ---- Phase 3: down customer edges --------------------------------------
-    heap = []
+    # ---- Phase 3: down customer edges (bucketed by export path length) ----
+    # Origin exports sit at pl0, strictly below every other exporter
+    # (plen >= pl0 everywhere), so they settle first unconditionally.
+    buckets: Dict[int, List[int]] = {}
+    bucket_of = buckets.setdefault
     for e in ct.cust_nodes:
         k = kind[e]
-        if not k:
-            continue
-        if k == _ORIGIN:
-            base = pl0 * n2 + e * n
-            for c in customers[e]:
-                casn = asns[c]
-                if (ato is None or casn in ato) and casn not in eset:
-                    push_(heap, base + c)
-        else:
-            base = (plen[e] + 1) * n2 + e * n
-            for c in customers[e]:
-                if not kind[c] and asns[c] not in eset:
-                    push_(heap, base + c)
-    while heap:
-        key = pop_(heap)
-        t = key % n
-        if kind[t]:
-            continue
-        rest = key // n
-        kind[t] = _PROVIDER
-        via[t] = rest % n
-        plen[t] = rest // n
-        nbase = key - key % n2 + n2 + t * n
-        for c in customers[t]:
-            if not kind[c] and asns[c] not in eset:
-                push_(heap, nbase + c)
+        if k and k != _ORIGIN:
+            bucket_of(plen[e] + 1, []).append(e)
+    frontier = []
+    for c in customers[oi]:
+        if avail[c] and (ato is None or asns[c] in ato):
+            avail[c] = 0
+            kind[c] = _PROVIDER
+            via[c] = oi
+            plen[c] = pl0
+            frontier.append(c)
+    if frontier:
+        bucket_of(pl0 + 1, []).extend(frontier)
+    while buckets:
+        lvl = min(buckets)
+        frontier = buckets.pop(lvl)
+        frontier.sort()
+        nxt = []
+        for v in frontier:
+            for t in customers[v]:
+                if avail[t]:
+                    avail[t] = 0
+                    kind[t] = _PROVIDER
+                    via[t] = v
+                    plen[t] = lvl
+                    nxt.append(t)
+        if nxt:
+            bucket_of(lvl + 1, []).extend(nxt)
 
     return kind, via, [0] * n, plen
 
 
 def _converge_secure(
     ct: CompiledTopology,
-    specs: Sequence[Tuple[int, Tuple[int, ...], frozenset, Optional[frozenset]]],
+    specs: Sequence[SpecT],
     sec: "CompiledSecurity",
-) -> Tuple[bytearray, List[int], List[int], List[int]]:
+) -> TableT:
     """The three Gao–Rexford phases with per-AS security filters.
 
     Mirrors :func:`_converge` exactly, with two additions derived from a
@@ -630,6 +678,456 @@ def _converge_secure(
     return kind, via, root, plen
 
 
+def _spec_diff(
+    old_specs: Sequence[SpecT], new_specs: Sequence[SpecT]
+) -> Tuple[Dict[int, int], List[int], List[int]]:
+    """Monotone content matching between two compiled spec tuples.
+
+    Returns ``(remap, dirty_old, dirty_new)``: ``remap`` maps each
+    *stable* old spec index to its new index, the dirty lists hold the
+    unmatched remainder on either side.  Matching is order-preserving
+    (greedy, in-order) because spec order is semantically significant —
+    same-origin overwrite semantics and heap tie-breaks both read it — so
+    a reordered spec counts as withdrawn-plus-reannounced.
+    """
+    remap: Dict[int, int] = {}
+    j = 0
+    for osi, ospec in enumerate(old_specs):
+        for nsi in range(j, len(new_specs)):
+            if new_specs[nsi] == ospec:
+                remap[osi] = nsi
+                j = nsi + 1
+                break
+    matched = set(remap.values())
+    dirty_old = [i for i in range(len(old_specs)) if i not in remap]
+    dirty_new = [i for i in range(len(new_specs)) if i not in matched]
+    return remap, dirty_old, dirty_new
+
+
+def _converge_delta(
+    ct: CompiledTopology,
+    old_specs: Sequence[SpecT],
+    old_table: TableT,
+    new_specs: Sequence[SpecT],
+    sec: Optional["CompiledSecurity"] = None,
+) -> Optional[Tuple[TableT, int]]:
+    """Incrementally re-converge ``new_specs`` starting from the table of
+    ``old_specs`` on the *same* compiled topology.
+
+    The route table makes withdrawal exact: ``root`` is constant along
+    every via chain, so the cone of a changed spec is precisely the slots
+    whose root is that spec — clear them, remap surviving roots, and
+    re-run the three phases over a heap seeded only at the boundary:
+
+    * dirty specs announce fresh from their origins,
+    * surviving holders adjacent to a cleared slot re-offer their routes,
+    * phase 2 pull-recomputes exactly the peers of changed exporters,
+    * phase 3 first invalidates the provider-route subtrees hanging off
+      any changed exporter (old-children walk), then reseeds.
+
+    Surviving entries are *frozen*: a popped candidate only touches one
+    when it strictly beats it, and every improvement re-pushes its
+    expansions so the cascade rewrites the affected subtree.  Because
+    heap keys pop in ascending order, any pop that beats a stored entry
+    is necessarily beating frozen (old-run) state — new-run settles are
+    already minimal.  Two corners where exact reference semantics would
+    need more than the frozen table offers raise
+    :class:`_DeltaUnsupported` (caller falls back to a full run): equal
+    ``(plen, via)`` ties resolved on export-path content across different
+    specs, and improvements into frozen entries while security filters
+    are active (downstream path masks would go stale).
+
+    Returns ``((kind, via, root, plen), touched)`` with ``touched`` the
+    number of slots examined/rewritten, or ``None`` when no old spec
+    survives (a full run does the same work).
+    """
+    remap, dirty_old, dirty_new = _spec_diff(old_specs, new_specs)
+    if not remap:
+        return None
+
+    n = ct.n
+    n2 = n * n
+    asns = ct.asns
+    providers = ct.providers
+    customers = ct.customers
+    peers = ct.peers
+    push_ = heappush
+    pop_ = heappop
+
+    kind0, via0, root0, plen0 = old_table
+    kind = bytearray(kind0)
+    via = list(via0)
+    plen = list(plen0)
+    root: List[int] = [-1] * n
+    dirty_old_set = set(dirty_old)
+    dirty_new_set = set(dirty_new)
+
+    touched = bytearray(n)
+    cleared: List[int] = []
+
+    # ---- Withdraw: root is constant along via chains, so clearing every
+    # slot rooted in a dirty spec removes exactly the stale cones.
+    for i, k in enumerate(kind0):
+        if k and k != _ORIGIN:
+            r = root0[i]
+            if r in dirty_old_set:
+                kind[i] = 0
+                via[i] = -1
+                plen[i] = 0
+                touched[i] = 1
+                cleared.append(i)
+            else:
+                root[i] = remap[r]
+
+    # A dirty cone covering a third of the graph can't be meaningfully
+    # cheaper than full re-convergence (and the odds that some candidate
+    # collides with a frozen tie — forcing a late _DeltaUnsupported
+    # fallback after real work — grow with the region).  Bail while the
+    # only cost sunk is the O(n) withdraw pass.  Tests widen the
+    # denominator to force cone attempts on large regions.
+    if len(cleared) * _CONE_BAIL_DEN > n:
+        return None
+
+    # Old dependence tree, for origin-status and phase-3 subtree walks.
+    children: List[List[int]] = [[] for _ in range(n)]
+    for i, v in enumerate(via0):
+        if v >= 0:
+            children[v].append(i)
+
+    # ---- Origin status changes invalidate whole dependence subtrees:
+    # an AS that gains or loses origin status changes every route whose
+    # via chain passes through it, whatever the root.
+    old_orig = {s[0] for s in old_specs}
+    new_orig = {s[0] for s in new_specs}
+    osc = old_orig ^ new_orig
+    if osc:
+        stack = []
+        for o in osc:
+            if kind[o]:
+                kind[o] = 0
+                via[o] = -1
+                plen[o] = 0
+                root[o] = -1
+            if not touched[o]:
+                touched[o] = 1
+                cleared.append(o)
+            stack.append(o)
+        while stack:
+            v2 = stack.pop()
+            for d in children[v2]:
+                if kind[d] and kind[d] != _ORIGIN:
+                    kind[d] = 0
+                    via[d] = -1
+                    plen[d] = 0
+                    root[d] = -1
+                    touched[d] = 1
+                    cleared.append(d)
+                    stack.append(d)
+        for o in new_orig:
+            if kind[o] != _ORIGIN:
+                kind[o] = _ORIGIN
+                via[o] = -1
+                plen[o] = 0
+                root[o] = -1
+
+    # ---- Security tables (mirrors _converge_secure) and path-mask
+    # reconstruction for survivors, parents before children.
+    drop_idx: List[FrozenSet[int]] = []
+    omask: List[int] = []
+    bit_arr: List[int] = []
+    pl_arr: List[int] = []
+    lt_arr: List[int] = []
+    fmask: List[int] = []
+    if sec is not None:
+        idx = ct.idx
+        for _oi, epath, _eset, _ato in new_specs:
+            droppers = sec.drops.get(epath[-1])
+            drop_idx.append(
+                frozenset(idx[a] for a in droppers if a in idx)
+                if droppers else frozenset()
+            )
+            omask.append(sec.path_mask(epath[1:]))
+        bit_get = sec.bits.get
+        pm_get = sec.pmask.get
+        lite = sec.lite
+        t1 = sec.t1mask
+        bit_arr = [bit_get(a, 0) for a in asns]
+        pl_arr = [pm_get(a, 0) for a in asns]
+        lt_arr = [t1 if a in lite else 0 for a in asns]
+        fmask = [0] * n
+        for i in sorted(
+            (i for i, k in enumerate(kind) if k and k != _ORIGIN),
+            key=plen.__getitem__,
+        ):
+            v2 = via[i]
+            base = omask[root[i]] if kind[v2] == _ORIGIN else fmask[v2]
+            fmask[i] = base | bit_arr[v2]
+
+    spec_sets = [s[2] for s in new_specs]
+    specs_of_origin: Dict[int, List[int]] = {}
+    for si, (soi, _e, _s, _a) in enumerate(new_specs):
+        specs_of_origin.setdefault(soi, []).append(si)
+
+    changed_p1: Set[int] = set(cleared)
+
+    # ---- Phase 1 delta: dirty specs seed at their origins; survivors at
+    # the withdrawal boundary re-offer routes into cleared slots.
+    heap: List[Tuple[int, Tuple[int, ...], int]] = []
+    for si in dirty_new:
+        soi, epath, eset, ato = new_specs[si]
+        base2 = len(epath) * n2 + soi * n
+        for p in providers[soi]:
+            pasn = asns[p]
+            if (ato is None or pasn in ato) and pasn not in eset:
+                push_(heap, (base2 + p, epath, si))
+    for t in cleared:
+        tasn = asns[t]
+        for c in customers[t]:
+            kc = kind[c]
+            if kc == _CUSTOMER:
+                si = root[c]
+                if tasn not in spec_sets[si]:
+                    push_(heap, ((plen[c] + 1) * n2 + c * n + t, _NO_RANK, si))
+            elif kc == _ORIGIN:
+                for si in specs_of_origin.get(c, ()):
+                    if si in dirty_new_set:
+                        continue
+                    _soi, epath, eset, ato = new_specs[si]
+                    if (ato is None or tasn in ato) and tasn not in eset:
+                        push_(heap, (len(epath) * n2 + c * n + t, epath, si))
+    while heap:
+        key, rank, si = pop_(heap)
+        t = key % n
+        kt = kind[t]
+        if kt == _ORIGIN:
+            continue
+        rest = key // n
+        v2 = rest % n
+        pl = rest // n
+        if kt == _CUSTOMER:
+            curkey = plen[t] * n2 + via[t] * n + t
+            if key > curkey:
+                continue
+            if key == curkey:
+                if root[t] != si:
+                    # equal (plen, via) across specs: reference breaks the
+                    # tie on export-path content the table doesn't keep
+                    raise _DeltaUnsupported
+                continue
+            if sec is not None:
+                # improving a frozen entry would stale downstream masks
+                raise _DeltaUnsupported
+            if pl == plen[t]:
+                if si != root[t]:
+                    raise _DeltaUnsupported
+                # same spec, same length, lower via: reroute in place —
+                # children's (plen, via) keys are unaffected.
+                via[t] = v2
+                touched[t] = 1
+                continue
+            # strictly shorter: settle below; expansions cascade through
+            # the old subtree with strictly better keys.
+        elif sec is not None:
+            m = omask[si] if rank else fmask[v2]
+            if t in drop_idx[si]:
+                continue
+            if m & (pl_arr[t] | lt_arr[t]):
+                continue
+            fmask[t] = m | bit_arr[v2]
+        kind[t] = _CUSTOMER
+        via[t] = v2
+        root[t] = si
+        plen[t] = pl
+        touched[t] = 1
+        changed_p1.add(t)
+        eset = spec_sets[si]
+        nbase = (pl + 1) * n2 + t * n
+        for p in providers[t]:
+            kp = kind[p]
+            if kp == _ORIGIN or asns[p] in eset:
+                continue
+            if kp == _CUSTOMER and nbase + p >= plen[p] * n2 + via[p] * n + p:
+                continue  # can't beat the incumbent
+            push_(heap, (nbase + p, _NO_RANK, si))
+
+    # ---- Phase 2 delta: pull-recompute exactly the peers of changed
+    # exporters (and changed slots themselves).  Pulls read only
+    # phase-1/origin state, so they are order-independent.
+    dirty_origins = {old_specs[si][0] for si in dirty_old}
+    dirty_origins.update(new_specs[si][0] for si in dirty_new)
+    exp_changed = changed_p1 | dirty_origins
+    p2_targets: Set[int] = set()
+    for e in exp_changed:
+        ke = kind[e]
+        if (not ke or ke == _PEER or ke == _PROVIDER) and peers[e]:
+            p2_targets.add(e)
+        for p in peers[e]:
+            kp = kind[p]
+            if not kp or kp == _PEER or kp == _PROVIDER:
+                p2_targets.add(p)
+    changed_p2: Set[int] = set()
+    for t in p2_targets:
+        tasn = asns[t]
+        best_pl = -1
+        best_e = -1
+        best_si = -1
+        best_m = 0
+        for e in peers[t]:  # ascending e: first win at a length is lowest via
+            ke = kind[e]
+            if ke == _ORIGIN:
+                sel = -1
+                for si in specs_of_origin.get(e, ()):
+                    ato = new_specs[si][3]
+                    if ato is None or tasn in ato:
+                        sel = si  # later specs overwrite, as in reference
+                if sel < 0 or tasn in spec_sets[sel]:
+                    continue
+                pl = len(new_specs[sel][1])
+                m = 0
+                if sec is not None:
+                    m = omask[sel]
+                    if t in drop_idx[sel] or m & pl_arr[t]:
+                        continue
+                si2 = sel
+            elif ke == _CUSTOMER:
+                si2 = root[e]
+                if tasn in spec_sets[si2]:
+                    continue
+                pl = plen[e] + 1
+                m = 0
+                if sec is not None:
+                    m = fmask[e]
+                    if t in drop_idx[si2] or m & pl_arr[t]:
+                        continue
+            else:
+                continue
+            if best_pl < 0 or pl < best_pl:
+                best_pl = pl
+                best_e = e
+                best_si = si2
+                best_m = m
+        if best_pl < 0:
+            if kind[t] == _PEER:
+                kind[t] = 0
+                via[t] = -1
+                root[t] = -1
+                plen[t] = 0
+                touched[t] = 1
+                changed_p2.add(t)
+        else:
+            if (kind[t] != _PEER or via[t] != best_e
+                    or root[t] != best_si or plen[t] != best_pl):
+                kind[t] = _PEER
+                via[t] = best_e
+                root[t] = best_si
+                plen[t] = best_pl
+                touched[t] = 1
+                changed_p2.add(t)
+            if sec is not None:
+                fmask[t] = best_m | bit_arr[best_e]
+
+    # ---- Phase 3 delta: provider-route subtrees hanging off any changed
+    # exporter are stale — walk the old children lists and clear them.
+    changed12 = exp_changed | changed_p2
+    stack2 = list(changed12)
+    while stack2:
+        v2 = stack2.pop()
+        for d in children[v2]:
+            if kind[d] == _PROVIDER and via[d] == v2:
+                kind[d] = 0
+                via[d] = -1
+                root[d] = -1
+                plen[d] = 0
+                touched[d] = 1
+                stack2.append(d)
+
+    heap = []
+    for si in dirty_new:
+        soi, epath, eset, ato = new_specs[si]
+        base2 = len(epath) * n2 + soi * n
+        for c in customers[soi]:
+            casn = asns[c]
+            if (ato is None or casn in ato) and casn not in eset:
+                push_(heap, (base2 + c, epath, si))
+    for e in changed12:
+        ke = kind[e]
+        if ke == _CUSTOMER or ke == _PEER:
+            si = root[e]
+            eset = spec_sets[si]
+            base2 = (plen[e] + 1) * n2 + e * n
+            for c in customers[e]:
+                if asns[c] not in eset:
+                    push_(heap, (base2 + c, _NO_RANK, si))
+    for t in range(n):
+        if not touched[t] or kind[t]:
+            continue
+        tasn = asns[t]
+        for v2 in providers[t]:
+            kv = kind[v2]
+            if not kv:
+                continue
+            if kv == _ORIGIN:
+                for si in specs_of_origin.get(v2, ()):
+                    if si in dirty_new_set:
+                        continue
+                    _soi, epath, eset, ato = new_specs[si]
+                    if (ato is None or tasn in ato) and tasn not in eset:
+                        push_(heap, (len(epath) * n2 + v2 * n + t, epath, si))
+            elif v2 not in changed12:
+                si = root[v2]
+                if tasn not in spec_sets[si]:
+                    push_(heap, ((plen[v2] + 1) * n2 + v2 * n + t, _NO_RANK, si))
+    while heap:
+        key, rank, si = pop_(heap)
+        t = key % n
+        kt = kind[t]
+        if kt and kt != _PROVIDER:
+            continue
+        rest = key // n
+        v2 = rest % n
+        pl = rest // n
+        if kt == _PROVIDER:
+            curkey = plen[t] * n2 + via[t] * n + t
+            if key > curkey:
+                continue
+            if key == curkey:
+                if root[t] != si:
+                    raise _DeltaUnsupported
+                continue
+            if sec is not None:
+                raise _DeltaUnsupported
+            if pl == plen[t]:
+                if si != root[t]:
+                    raise _DeltaUnsupported
+                via[t] = v2
+                touched[t] = 1
+                continue
+        elif sec is not None:
+            m = omask[si] if rank else fmask[v2]
+            if t in drop_idx[si]:
+                continue
+            if m & pl_arr[t]:  # provider route: lite does not apply
+                continue
+            fmask[t] = m | bit_arr[v2]
+        kind[t] = _PROVIDER
+        via[t] = v2
+        root[t] = si
+        plen[t] = pl
+        touched[t] = 1
+        eset = spec_sets[si]
+        nbase = (pl + 1) * n2 + t * n
+        for c in customers[t]:
+            kc = kind[c]
+            if kc == 0:
+                if asns[c] not in eset:
+                    push_(heap, (nbase + c, _NO_RANK, si))
+            elif kc == _PROVIDER:
+                if asns[c] not in eset and nbase + c < plen[c] * n2 + via[c] * n + c:
+                    push_(heap, (nbase + c, _NO_RANK, si))
+
+    return (kind, via, root, plen), touched.count(1)
+
+
 class CompiledOutcome(RoutingOutcome):
     """A :class:`RoutingOutcome` backed by the compact parent-pointer
     table.  AS paths (and :class:`ASRoute` objects) materialize lazily
@@ -639,14 +1137,45 @@ class CompiledOutcome(RoutingOutcome):
         self,
         graph: ASGraph,
         compiled: CompiledTopology,
-        table: Tuple[bytearray, List[int], List[int], List[int]],
+        table: TableT,
         spec_paths: Tuple[Tuple[int, ...], ...],
+        specs: Optional[Tuple[SpecT, ...]] = None,
+        security_fp: Optional[Tuple] = None,
+        plen_shift: int = 0,
     ) -> None:
         self._graph = graph
         self._compiled = compiled
         self._kind, self._via, self._root, self._plen = table
+        # A pure prepend change shifts every selected route's path length
+        # by the same amount; the shift is recorded here instead of
+        # copying the 50k-entry plen array (accessors reconstruct paths
+        # from via pointers and never read plen, so materialization —
+        # see _table() — is deferred until a cone delta needs it).
+        self._plen_shift = plen_shift
         self._spec_paths = spec_paths
+        # Delta-propagation provenance: the compiled specs this table was
+        # converged for and the security fingerprint in effect (None =
+        # unsecured).  propagate_delta only reuses a table whose
+        # provenance matches the new request's.
+        self._specs = specs
+        self._security_fp = security_fp
         self._memo: Dict[int, ASRoute] = {}
+
+    def _table(self) -> TableT:
+        """The parent-pointer table with any pending plen shift applied.
+
+        Materializes at most once (rebinding ``self._plen`` to a fresh
+        list — the shared predecessor array is never mutated); origin
+        and unreached slots keep their plen untouched, matching what an
+        eager shift would have produced."""
+        s = self._plen_shift
+        if s:
+            self._plen = [
+                p + s if (k and k != _ORIGIN) else p
+                for k, p in zip(self._kind, self._plen)
+            ]
+            self._plen_shift = 0
+        return (self._kind, self._via, self._root, self._plen)
 
     # -- core accessors -------------------------------------------------------
 
@@ -746,6 +1275,10 @@ class OutcomeCache:
         self.maxsize = maxsize
         self.name = name
         self._data: "OrderedDict[Tuple, RoutingOutcome]" = OrderedDict()
+        # Keys bucketed by their graph-version component (key[0]), so
+        # prune_version touches only stale entries instead of scanning
+        # the whole cache on every graph mutation.
+        self._by_version: Dict[object, Set[Tuple]] = {}
         registry = metrics if metrics is not None else MetricsRegistry()
         self._hits = registry.counter(
             "peering_cache_hits_total", "Outcome cache hits", ("cache",)
@@ -786,20 +1319,32 @@ class OutcomeCache:
         if key in data:
             data.move_to_end(key)
         data[key] = outcome
+        self._by_version.setdefault(key[0], set()).add(key)
         if len(data) > self.maxsize:
-            data.popitem(last=False)
+            old_key, _ = data.popitem(last=False)
+            bucket = self._by_version.get(old_key[0])
+            if bucket is not None:
+                bucket.discard(old_key)
+                if not bucket:
+                    del self._by_version[old_key[0]]
             self._evictions.value += 1.0
         self._entries.value = float(len(data))
 
     def prune_version(self, version: int) -> None:
-        """Drop entries computed against any graph version but ``version``."""
-        stale = [key for key in self._data if key[0] != version]
-        for key in stale:
-            del self._data[key]
-        self._entries.value = float(len(self._data))
+        """Drop entries computed against any graph version but ``version``.
+
+        O(stale entries) via the per-version key buckets — a graph
+        mutation no longer pays a full cache scan to invalidate."""
+        buckets = self._by_version
+        data = self._data
+        for ver in [v for v in buckets if v != version]:
+            for key in buckets.pop(ver):
+                del data[key]
+        self._entries.value = float(len(data))
 
     def clear(self) -> None:
         self._data.clear()
+        self._by_version.clear()
         self._entries.value = 0.0
 
     def __len__(self) -> int:
@@ -828,8 +1373,9 @@ def _pool_init(compiled: CompiledTopology) -> None:
     _WORKER_TOPOLOGY = compiled
 
 
-def _pool_run(spec_blob):
+def _pool_run(spec_blob: Tuple) -> Tuple[bytes, array, array, array]:
     ct = _WORKER_TOPOLOGY
+    assert ct is not None  # set by the pool initializer
     specs = tuple(
         (ct.idx[asn], epath, frozenset(epath),
          None if ato is None else frozenset(ato))
@@ -868,6 +1414,24 @@ class PropagationEngine:
         self._seconds = self.metrics.histogram(
             "peering_propagation_seconds",
             "Wall-clock convergence time per in-process run",
+        ).labels()
+        # Incremental-convergence instrumentation: runs by regime (noop /
+        # shift / cone / fallback / full), the per-run recomputed-frontier
+        # histogram, and a running total of table slots reused as-is —
+        # the looking glass reads these to show work saved.
+        self._delta_runs = self.metrics.counter(
+            "peering_propagation_delta_runs_total",
+            "Incremental propagation runs by regime",
+            ("mode",),
+        )
+        self._delta_frontier = self.metrics.histogram(
+            "peering_propagation_delta_frontier_size",
+            "AS slots recomputed per incremental convergence",
+            buckets=(0.0, 1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0),
+        ).labels()
+        self._delta_saved = self.metrics.counter(
+            "peering_propagation_delta_saved_total",
+            "AS slots reused from the previous route table by delta runs",
         ).labels()
 
     @property
@@ -908,12 +1472,12 @@ class PropagationEngine:
             security = security.compile_for(announcement)  # type: ignore[attr-defined]
         if security is not None and not security.active:
             security = None
+        key = (
+            compiled.version,
+            canonical_key(announcement),
+            None if security is None else security.fingerprint,
+        )
         if use_cache:
-            key = (
-                compiled.version,
-                canonical_key(announcement),
-                None if security is None else security.fingerprint,
-            )
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
@@ -921,6 +1485,154 @@ class PropagationEngine:
         if use_cache:
             self.cache.put(key, outcome)
         return outcome
+
+    def propagate_delta(
+        self,
+        prev_outcome: Optional[RoutingOutcome],
+        announcement: Announcement,
+        use_cache: bool = True,
+        security: Optional["CompiledSecurity"] = None,
+    ) -> RoutingOutcome:
+        """Converged routes for ``announcement``, reusing the route table
+        of ``prev_outcome`` where the change cannot have moved it.
+
+        The result is route-for-route identical to :meth:`propagate` —
+        incrementality is purely an optimization, picked per change:
+
+        * **noop** — identical steering: the previous outcome *is* the
+          answer.
+        * **shift** — same origin/export-set/targets, only the export
+          path length changed (prepend engineering): every surviving
+          route keeps its (kind, via) and shifts ``plen`` uniformly.
+        * **cone** — general case: withdraw exactly the cones rooted in
+          changed specs, re-seed the frontier at the changed origin and
+          the withdrawal boundary, and converge only ASes whose best
+          route could change.
+        * **fallback / full** — no reusable previous table (different
+          graph version or security fingerprint, no stable specs, or an
+          exact-semantics corner): a normal full convergence.
+
+        ``prev_outcome`` may be any outcome this engine produced for the
+        *current* graph version under the same security fingerprint;
+        anything else degrades gracefully to a full run.  Cache keys are
+        identical to :meth:`propagate`'s, so delta-produced outcomes
+        compose with fingerprinted security lookups and never alias."""
+        compiled = self.compiled()
+        if security is not None and hasattr(security, "compile_for"):
+            security = security.compile_for(announcement)  # type: ignore[attr-defined]
+        if security is not None and not security.active:
+            security = None
+        sec_fp = None if security is None else security.fingerprint
+        key = (compiled.version, canonical_key(announcement), sec_fp)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        outcome = self._run_delta(
+            compiled, announcement, prev_outcome, security, sec_fp
+        )
+        if use_cache:
+            self.cache.put(key, outcome)
+        return outcome
+
+    @staticmethod
+    def _shift_delta(
+        old_specs: Tuple[SpecT, ...],
+        new_specs: Tuple[SpecT, ...],
+        security: Optional["CompiledSecurity"],
+    ) -> Optional[int]:
+        """Path-length delta if the change is a pure prepend adjustment
+        (single spec, same origin/export-set/targets): acceptance
+        decisions depend only on those plus — under security — the
+        export path's tail mask and last hop, so (kind, via) is
+        preserved exactly and plen shifts uniformly.  None otherwise."""
+        if len(old_specs) != 1 or len(new_specs) != 1:
+            return None
+        ooi, oepath, oeset, oato = old_specs[0]
+        noi, nepath, neset, nato = new_specs[0]
+        if noi != ooi or neset != oeset or nato != oato:
+            return None
+        if security is not None:
+            if nepath[-1] != oepath[-1]:
+                return None
+            if security.path_mask(nepath[1:]) != security.path_mask(oepath[1:]):
+                return None
+        return len(nepath) - len(oepath)
+
+    def _run_delta(
+        self,
+        compiled: CompiledTopology,
+        announcement: Announcement,
+        prev: Optional[RoutingOutcome],
+        security: Optional["CompiledSecurity"],
+        sec_fp: Optional[Tuple],
+    ) -> RoutingOutcome:
+        started = perf_counter()
+        new_specs = _compile_specs(compiled, announcement)
+        base: Optional[CompiledOutcome] = None
+        if (
+            isinstance(prev, CompiledOutcome)
+            and prev._compiled is compiled
+            and prev._specs is not None
+            and prev._security_fp == sec_fp
+        ):
+            base = prev
+        mode = "full"
+        table: Optional[TableT] = None
+        frontier = 0
+        plen_shift = 0
+        if base is not None:
+            old_specs = base._specs
+            assert old_specs is not None
+            if new_specs == old_specs:
+                self._observe_delta("noop", 0, compiled.n, started)
+                return base
+            shift = self._shift_delta(old_specs, new_specs, security)
+            if shift is not None:
+                # Tables are never mutated after construction, so all
+                # four arrays are shared with the previous outcome; the
+                # uniform plen shift stays pending (composing with any
+                # shift the base itself still carries) until someone
+                # actually needs plen values.
+                table = (base._kind, base._via, base._root, base._plen)
+                plen_shift = base._plen_shift + shift
+                mode = "shift"
+            else:
+                old_table = base._table()
+                try:
+                    res = _converge_delta(
+                        compiled, old_specs, old_table, new_specs, security
+                    )
+                except _DeltaUnsupported:
+                    res = None
+                if res is not None:
+                    table, frontier = res
+                    mode = "cone"
+                else:
+                    mode = "fallback"
+        if table is None:
+            if security is None:
+                table = _converge(compiled, new_specs)
+            else:
+                table = _converge_secure(compiled, new_specs, security)
+            frontier = compiled.n
+        spec_paths = tuple(s[1] for s in new_specs)
+        outcome = CompiledOutcome(
+            self.graph, compiled, table, spec_paths,
+            specs=new_specs, security_fp=sec_fp, plen_shift=plen_shift,
+        )
+        self._runs.inc()
+        self._observe_delta(mode, frontier, compiled.n, started)
+        return outcome
+
+    def _observe_delta(
+        self, mode: str, frontier: int, n: int, started: float
+    ) -> None:
+        self._delta_runs.labels(mode).inc()
+        if mode in ("noop", "shift", "cone"):
+            self._delta_frontier.observe(float(frontier))
+            self._delta_saved.inc(float(max(0, n - frontier)))
+        self._seconds.observe(perf_counter() - started)
 
     def _run(
         self,
@@ -935,7 +1647,11 @@ class PropagationEngine:
         else:
             table = _converge_secure(compiled, specs, security)
         spec_paths = tuple(s[1] for s in specs)
-        outcome = CompiledOutcome(self.graph, compiled, table, spec_paths)
+        outcome = CompiledOutcome(
+            self.graph, compiled, table, spec_paths,
+            specs=specs,
+            security_fp=None if security is None else security.fingerprint,
+        )
         self._runs.inc()
         self._seconds.observe(perf_counter() - started)
         return outcome
@@ -979,13 +1695,22 @@ class PropagationEngine:
         if miss_idx:
             workers = 0 if parallel is None else min(parallel, len(miss_idx))
             if workers > 1:
-                outcomes = self._run_parallel(
+                outcomes: List[RoutingOutcome] = list(self._run_parallel(
                     compiled, [announcements[i] for i in miss_idx], workers
-                )
+                ))
             else:
-                outcomes = [
-                    self._run(compiled, announcements[i]) for i in miss_idx
-                ]
+                # Serial sweeps chain through delta propagation: every
+                # miss reuses the previous miss's route table (all
+                # outcomes in one call share a compiled graph version),
+                # so consecutive steering variants converge incrementally.
+                outcomes = []
+                prev: Optional[RoutingOutcome] = None
+                for i in miss_idx:
+                    outcome = self._run_delta(
+                        compiled, announcements[i], prev, None, None
+                    )
+                    outcomes.append(outcome)
+                    prev = outcome
             for i, outcome in zip(miss_idx, outcomes):
                 results[i] = outcome
                 if use_cache:
@@ -1001,10 +1726,10 @@ class PropagationEngine:
         import multiprocessing
 
         blobs = []
-        all_spec_paths = []
+        all_specs: List[Tuple[SpecT, ...]] = []
         for announcement in announcements:
             specs = _compile_specs(compiled, announcement)  # validates origins
-            all_spec_paths.append(tuple(s[1] for s in specs))
+            all_specs.append(specs)
             blobs.append(
                 tuple(
                     (spec.asn, spec.export_path(), spec.announce_to)
@@ -1026,9 +1751,12 @@ class PropagationEngine:
             return [self._run(compiled, a) for a in announcements]
         self._runs.inc(len(announcements))  # worker runs aren't timed here
         outcomes = []
-        for (kind_b, via_a, root_a, plen_a), spec_paths in zip(raw, all_spec_paths):
+        for (kind_b, via_a, root_a, plen_a), specs in zip(raw, all_specs):
             table = (bytearray(kind_b), via_a.tolist(), root_a.tolist(), plen_a.tolist())
-            outcomes.append(CompiledOutcome(self.graph, compiled, table, spec_paths))
+            outcomes.append(CompiledOutcome(
+                self.graph, compiled, table, tuple(s[1] for s in specs),
+                specs=specs, security_fp=None,
+            ))
         return outcomes
 
     # -- reporting ------------------------------------------------------------
@@ -1040,6 +1768,11 @@ class PropagationEngine:
             "compiled_version": None if compiled is None else compiled.version,
             "compile_count": self.compile_count,
             "cache": self.cache.stats(),
+            "delta": {
+                mode: int(self._delta_runs.labels(mode).value)
+                for mode in ("noop", "shift", "cone", "fallback", "full")
+            },
+            "delta_saved_slots": int(self._delta_saved.value),
         }
 
 

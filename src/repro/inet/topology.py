@@ -15,6 +15,7 @@ here.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
@@ -105,6 +106,8 @@ class ASGraph:
         self._sorted_providers: Dict[int, Tuple[int, ...]] = {}
         self._sorted_customers: Dict[int, Tuple[int, ...]] = {}
         self._sorted_peers: Dict[int, Tuple[int, ...]] = {}
+        self._in_batch = False
+        self._batch_dirty = False
 
     @property
     def version(self) -> int:
@@ -112,6 +115,9 @@ class ASGraph:
         return self._version
 
     def _mutated(self) -> None:
+        if self._in_batch:
+            self._batch_dirty = True
+            return
         self._version += 1
         self._fz_providers.clear()
         self._fz_customers.clear()
@@ -120,6 +126,30 @@ class ASGraph:
         self._sorted_providers.clear()
         self._sorted_customers.clear()
         self._sorted_peers.clear()
+
+    @contextmanager
+    def batch(self) -> Iterator["ASGraph"]:
+        """Group many mutations into one version bump.
+
+        Bulk construction (the 50k-AS generator adds ~10^5 edges) would
+        otherwise bump :attr:`version` and clear the adjacency-view caches
+        once per edge.  Inside the block mutations only mark the graph
+        dirty; one bump-and-clear happens at exit (only if something
+        actually mutated).  Cached adjacency views read *inside* the block
+        may be stale — batch() is for build phases, not for interleaved
+        read/write use.  Reentrant: nested batches defer to the outermost.
+        """
+        if self._in_batch:
+            yield self
+            return
+        self._in_batch = True
+        try:
+            yield self
+        finally:
+            self._in_batch = False
+            if self._batch_dirty:
+                self._batch_dirty = False
+                self._mutated()
 
     # -- nodes ---------------------------------------------------------------
 

@@ -66,6 +66,28 @@ class LookingGlass:
             return {}
         return dict(outcome.items())
 
+    def propagation_savings(self) -> Dict[str, object]:
+        """How much work incremental convergence saved: delta runs by
+        regime (noop/shift/cone vs fallback/full), the fraction answered
+        incrementally, and the total AS slots reused from previous route
+        tables instead of recomputed."""
+        stats = self.testbed.propagation.stats()
+        delta_obj = stats.get("delta")
+        delta: Dict[str, int] = (
+            {str(k): int(v) for k, v in delta_obj.items()}
+            if isinstance(delta_obj, dict) else {}
+        )
+        saved_obj = stats.get("delta_saved_slots", 0)
+        incremental = sum(
+            delta.get(mode, 0) for mode in ("noop", "shift", "cone")
+        )
+        total = sum(delta.values())
+        return {
+            "delta_runs": delta,
+            "incremental_fraction": (incremental / total) if total else 0.0,
+            "slots_reused": int(saved_obj) if isinstance(saved_obj, int) else 0,
+        }
+
     def route(self, prefix: Prefix, vantage: int) -> Optional["ASRoute"]:
         """The route one vantage AS selected, or None if it has none."""
         outcome = self.testbed.outcome_for(prefix)

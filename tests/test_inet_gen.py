@@ -1,0 +1,120 @@
+"""The Internet-scale CAIDA-calibrated generator.
+
+Checks structure (clique core, power-law tails, Zipf IXP sizes, valid
+relationships), determinism under a fixed seed, and that the output
+composes with the propagation engine.  Scaled down to a few thousand
+ASes so the suite stays fast; the 50k shape is exercised (and timed) by
+``benchmarks/bench_propagation.py --scale``.
+"""
+
+import pytest
+
+from repro.inet.engine import PropagationEngine
+from repro.inet.gen import (
+    CaidaConfig,
+    build_caida_like,
+    degree_stats,
+)
+from repro.inet.routing import Announcement
+from repro.inet.topology import ASKind
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_caida_like(3000)
+
+
+class TestCaidaStructure:
+    def test_size_and_validity(self, world):
+        # build_caida_like runs graph.validate() itself; re-check here so
+        # a regression in validate() can't mask one in the generator.
+        assert len(world.graph) == 3000
+        world.graph.validate()
+
+    def test_tier1_full_mesh_without_providers(self, world):
+        cfg = world.caida_config
+        tier1 = [
+            n.asn for n in world.graph.nodes() if n.kind is ASKind.TIER1
+        ]
+        assert len(tier1) == cfg.n_tier1
+        for a in tier1:
+            assert not world.graph.providers(a)
+            assert set(tier1) - {a} <= world.graph.peers(a)
+
+    def test_everyone_else_has_a_provider(self, world):
+        for node in world.graph.nodes():
+            if node.kind is not ASKind.TIER1:
+                assert world.graph.providers(node.asn), node.asn
+
+    def test_heavy_tailed_cones_and_degrees(self, world):
+        stats = degree_stats(world.graph)
+        assert 3.0 <= stats["mean_degree"] <= 9.0
+        # Power-law tail: the top 1% of ASes hold a large share of all
+        # adjacencies, and some tier-1 cone covers most of the Internet.
+        assert stats["top1pct_degree_share"] >= 0.10
+        assert stats["max_cone_fraction"] >= 0.30
+        assert stats["max_degree"] >= 30
+
+    def test_ixp_sizes_follow_zipf(self, world):
+        sizes = sorted(
+            (ixp.member_count() for ixp in world.ixps.values()), reverse=True
+        )
+        assert len(sizes) == world.caida_config.n_ixps
+        # A few huge fabrics, a long tail of small ones.
+        assert sizes[0] >= 8 * sizes[len(sizes) // 2]
+        assert sizes[-1] >= 2
+
+    def test_ixp_membership_recorded_on_nodes(self, world):
+        name, ixp = next(iter(world.ixps.items()))
+        member = next(iter(ixp.members()))
+        assert name in world.graph.get(member).ixps
+
+    def test_tier1s_do_not_join_ixps(self, world):
+        tier1 = {
+            n.asn for n in world.graph.nodes() if n.kind is ASKind.TIER1
+        }
+        for ixp in world.ixps.values():
+            assert not (ixp.members() & tier1)
+
+    def test_prefix_counts_normalized(self, world):
+        total = world.total_prefixes()
+        target = world.caida_config.total_prefixes
+        assert 0.5 * target <= total <= 2.0 * target
+
+    def test_build_is_one_graph_version(self, world):
+        # The whole bulk build happens under ASGraph.batch().
+        assert world.graph.version == 1
+
+
+class TestCaidaDeterminismAndConfig:
+    def test_same_seed_same_world(self):
+        a = build_caida_like(800)
+        b = build_caida_like(800)
+        assert a.graph.edge_count() == b.graph.edge_count()
+        assert a.graph.rank_by_cone()[:10] == b.graph.rank_by_cone()[:10]
+        assert sorted(a.graph.asns()) == sorted(b.graph.asns())
+
+    def test_different_seed_different_world(self):
+        a = build_caida_like(800)
+        b = build_caida_like(800, CaidaConfig(n_ases=800, seed=7))
+        assert a.graph.edge_count() != b.graph.edge_count()
+
+    def test_explicit_config_takes_precedence(self):
+        world = build_caida_like(10, CaidaConfig(n_ases=600))
+        assert len(world.graph) == 600
+        assert world.caida_config.n_ases == 600
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CaidaConfig(n_ases=20)
+        with pytest.raises(ValueError):
+            CaidaConfig(mean_providers=3.0)
+
+    def test_composes_with_the_engine(self):
+        world = build_caida_like(400)
+        graph = world.graph
+        engine = PropagationEngine(graph)
+        origin = max(graph.asns())
+        outcome = engine.propagate(Announcement.single(origin))
+        # A stub's announcement must reach essentially the whole graph.
+        assert len(outcome) >= 0.95 * len(graph)

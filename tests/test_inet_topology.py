@@ -113,3 +113,45 @@ class TestAnalysis:
         g._providers[2].add(1)  # force the cycle past validation
         g._customers[1].add(2)
         assert g.customer_cone(1) == {1, 2}
+
+
+class TestBatchMutation:
+    def test_batch_bumps_version_once(self, diamond):
+        v0 = diamond.version
+        with diamond.batch():
+            diamond.add_as(ASNode(asn=10))
+            diamond.add_as(ASNode(asn=11))
+            diamond.add_provider(10, 1)
+            diamond.add_peering(10, 11)
+        assert diamond.version == v0 + 1
+
+    def test_batch_without_mutation_does_not_bump(self, diamond):
+        v0 = diamond.version
+        with diamond.batch():
+            pass
+        assert diamond.version == v0
+
+    def test_views_refresh_after_batch(self, diamond):
+        assert 4 in diamond.customers(2)  # populate the cached views
+        with diamond.batch():
+            diamond.add_as(ASNode(asn=10))
+            diamond.add_provider(10, 2)
+        assert 10 in diamond.customers(2)
+        assert diamond.sorted_customers(2) == (4, 10)
+
+    def test_exception_inside_batch_still_invalidates(self, diamond):
+        v0 = diamond.version
+        with pytest.raises(TopologyError):
+            with diamond.batch():
+                diamond.add_as(ASNode(asn=10))
+                diamond.add_as(ASNode(asn=10))  # duplicate: raises
+        assert diamond.version == v0 + 1  # the first add must not be lost
+
+    def test_nested_batches_defer_to_outermost(self, diamond):
+        v0 = diamond.version
+        with diamond.batch():
+            diamond.add_as(ASNode(asn=10))
+            with diamond.batch():
+                diamond.add_as(ASNode(asn=11))
+            assert diamond.version == v0  # inner exit must not bump
+        assert diamond.version == v0 + 1
