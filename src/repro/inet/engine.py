@@ -42,7 +42,7 @@ from collections import OrderedDict
 from heapq import heappop, heappush
 from time import perf_counter
 from typing import (
-    TYPE_CHECKING, Callable, Dict, FrozenSet, Iterator, List, Optional,
+    TYPE_CHECKING, Any, Callable, Dict, FrozenSet, Iterator, List, Optional,
     Sequence, Set, Tuple,
 )
 
@@ -104,6 +104,7 @@ class CompiledTopology:
         "version", "n", "asns", "idx",
         "prov_off", "prov_adj", "cust_off", "cust_adj", "peer_off", "peer_adj",
         "providers", "customers", "peers", "peer_nodes", "cust_nodes",
+        "_nbrs",
     )
 
     def __init__(self, graph: ASGraph) -> None:
@@ -140,6 +141,27 @@ class CompiledTopology:
         # so phases 2 and 3 skip the (usually large) pure-stub remainder.
         self.peer_nodes = tuple(i for i, p in enumerate(self.peers) if p)
         self.cust_nodes = tuple(i for i, c in enumerate(self.customers) if c)
+        self._nbrs: Optional[List[Tuple[int, ...]]] = None
+
+    def children_index(self) -> List[Tuple[int, ...]]:
+        """Per-node merged neighbor tuples — the reusable superset of any
+        route table's dependence children.
+
+        Whatever the route kind, ``via[i]`` is a topology neighbor of
+        ``i``, so the dependence children of ``v`` (slots whose parent
+        pointer is ``v``) are always found inside ``children_index()[v]``
+        by checking ``via[child] == v``.  Built once per compiled
+        topology (so invalidation rides the graph-version recompile) and
+        shared by every delta run, letting withdraw/invalidate passes
+        walk exactly the affected cone instead of scanning all n slots.
+        """
+        nbrs = self._nbrs
+        if nbrs is None:
+            nbrs = self._nbrs = [
+                p + q + c
+                for p, q, c in zip(self.providers, self.peers, self.customers)
+            ]
+        return nbrs
 
     # -- pickling (pool workers get the CSR arrays, not the tuple views) ------
 
@@ -183,6 +205,50 @@ def canonical_key(announcement: Announcement) -> Tuple:
         )
         for spec in announcement.origins
     )
+
+
+def _affinity_key(announcement: Announcement) -> Tuple:
+    """:func:`canonical_key` minus prepend counts.
+
+    Two announcements with equal affinity keys differ only in prepend
+    engineering, so consecutive sweep points within one affinity group
+    classify as shift (or noop) deltas — the cheapest regimes.  Sweep
+    chains are ordered by this key so workers see whole groups."""
+    return tuple(
+        (
+            spec.asn,
+            tuple(spec.poison),
+            tuple(spec.path_suffix),
+            None if spec.announce_to is None
+            else tuple(sorted(set(spec.announce_to))),
+        )
+        for spec in announcement.origins
+    )
+
+
+def _partition_chains(
+    keys: Sequence[Tuple], workers: int
+) -> List[List[int]]:
+    """Deal affinity groups onto ``workers`` delta chains.
+
+    ``keys[pos]`` is the affinity key (plus security fingerprint) of
+    miss ``pos``.  Groups are kept whole — splitting one would turn
+    in-group shift deltas into cross-worker full converges — and
+    assigned greedily, largest group to the least-loaded worker, so the
+    chains stay balanced even when group sizes are skewed.  Group
+    discovery order and the stable sort keep the result deterministic.
+    Returns non-empty chains of positions (input order within a group)."""
+    groups: Dict[Tuple, List[int]] = {}
+    for pos, key in enumerate(keys):
+        groups.setdefault(key, []).append(pos)
+    ordered = sorted(groups.values(), key=len, reverse=True)
+    chains: List[List[int]] = [[] for _ in range(max(1, workers))]
+    loads = [0] * len(chains)
+    for grp in ordered:
+        w = loads.index(min(loads))
+        chains[w].extend(grp)
+        loads[w] += len(grp)
+    return [c for c in chains if c]
 
 
 def _compile_specs(
@@ -758,45 +824,66 @@ def _converge_delta(
     kind = bytearray(kind0)
     via = list(via0)
     plen = list(plen0)
-    root: List[int] = [-1] * n
     dirty_old_set = set(dirty_old)
     dirty_new_set = set(dirty_new)
 
+    # Root remap: the common sweep case keeps every stable spec at its
+    # old index (identity remap), so the new root array is a C-level copy
+    # of the old one — stale values on cleared slots are never read
+    # before being rewritten at settle time.  Only a genuinely reordered
+    # spec list pays the O(n) per-slot remap pass.
+    if all(o == m for o, m in remap.items()):
+        root = list(root0)
+    else:
+        root = [-1] * n
+        for i, k in enumerate(kind0):
+            if k and k != _ORIGIN:
+                m = remap.get(root0[i])
+                if m is not None:
+                    root[i] = m
+
     touched = bytearray(n)
     cleared: List[int] = []
-
-    # ---- Withdraw: root is constant along via chains, so clearing every
-    # slot rooted in a dirty spec removes exactly the stale cones.
-    for i, k in enumerate(kind0):
-        if k and k != _ORIGIN:
-            r = root0[i]
-            if r in dirty_old_set:
-                kind[i] = 0
-                via[i] = -1
-                plen[i] = 0
-                touched[i] = 1
-                cleared.append(i)
-            else:
-                root[i] = remap[r]
-
     # A dirty cone covering a third of the graph can't be meaningfully
     # cheaper than full re-convergence (and the odds that some candidate
     # collides with a frozen tie — forcing a late _DeltaUnsupported
-    # fallback after real work — grow with the region).  Bail while the
-    # only cost sunk is the O(n) withdraw pass.  Tests widen the
-    # denominator to force cone attempts on large regions.
-    if len(cleared) * _CONE_BAIL_DEN > n:
-        return None
+    # fallback after real work — grow with the region).  The walks below
+    # discover the cone incrementally, so the bail trips as soon as the
+    # region is provably too large — cost sunk scales with the bail
+    # threshold, not with n.  Tests widen the denominator to force cone
+    # attempts on large regions.
+    bail_at = n // _CONE_BAIL_DEN
+    nbrs = ct.children_index()
 
-    # Old dependence tree, for origin-status and phase-3 subtree walks.
-    children: List[List[int]] = [[] for _ in range(n)]
-    for i, v in enumerate(via0):
-        if v >= 0:
-            children[v].append(i)
+    # ---- Withdraw: root is constant along via chains, so the slots
+    # rooted in a dirty spec are exactly the old dependence subtree of
+    # its origin, restricted to dirty roots.  Walking that subtree over
+    # the children index costs O(cone edges) instead of an O(n) scan.
+    for o in {old_specs[si][0] for si in dirty_old}:
+        stack = [o]
+        while stack:
+            v2 = stack.pop()
+            for t in nbrs[v2]:
+                k = kind[t]
+                if (
+                    k and k != _ORIGIN
+                    and via0[t] == v2
+                    and root0[t] in dirty_old_set
+                ):
+                    kind[t] = 0
+                    via[t] = -1
+                    root[t] = -1
+                    plen[t] = 0
+                    touched[t] = 1
+                    cleared.append(t)
+                    stack.append(t)
+            if len(cleared) > bail_at:
+                return None
 
     # ---- Origin status changes invalidate whole dependence subtrees:
     # an AS that gains or loses origin status changes every route whose
-    # via chain passes through it, whatever the root.
+    # via chain passes through it, whatever the root.  Same walk, not
+    # restricted by root.
     old_orig = {s[0] for s in old_specs}
     new_orig = {s[0] for s in new_specs}
     osc = old_orig ^ new_orig
@@ -814,8 +901,8 @@ def _converge_delta(
             stack.append(o)
         while stack:
             v2 = stack.pop()
-            for d in children[v2]:
-                if kind[d] and kind[d] != _ORIGIN:
+            for d in nbrs[v2]:
+                if kind[d] and kind[d] != _ORIGIN and via0[d] == v2:
                     kind[d] = 0
                     via[d] = -1
                     plen[d] = 0
@@ -823,6 +910,8 @@ def _converge_delta(
                     touched[d] = 1
                     cleared.append(d)
                     stack.append(d)
+            if len(cleared) > bail_at:
+                return None
         for o in new_orig:
             if kind[o] != _ORIGIN:
                 kind[o] = _ORIGIN
@@ -956,23 +1045,49 @@ def _converge_delta(
     dirty_origins = {old_specs[si][0] for si in dirty_old}
     dirty_origins.update(new_specs[si][0] for si in dirty_new)
     exp_changed = changed_p1 | dirty_origins
-    p2_targets: Set[int] = set()
+    # Per-target lists of *changed* adjacent exporters.  Offers from
+    # unchanged exporters are literally unchanged (exporter state, spec
+    # content, and security masks all survive), so most recomputes only
+    # need the old incumbent plus these lists — an IXP member with
+    # thousands of peers no longer rescans the whole mesh because one of
+    # them changed.  Targets whose old route was customer/origin (which
+    # shadowed every peer offer) still rescan in full.
+    cand_of: Dict[int, List[int]] = {}
     for e in exp_changed:
         ke = kind[e]
         if (not ke or ke == _PEER or ke == _PROVIDER) and peers[e]:
-            p2_targets.add(e)
+            cand_of.setdefault(e, [])
         for p in peers[e]:
             kp = kind[p]
             if not kp or kp == _PEER or kp == _PROVIDER:
-                p2_targets.add(p)
+                cand_of.setdefault(p, []).append(e)
     changed_p2: Set[int] = set()
-    for t in p2_targets:
+    for t, cands in cand_of.items():
+        k0t = kind0[t]
+        dense = 4 * len(cands) >= len(peers[t])
+        if k0t == _PEER:
+            e0 = via0[t]
+            # incumbent unchanged: it still beats every unchanged rival
+            # (it won the old run), so only it and the changed exporters
+            # can produce the new minimum.  Dense candidate lists fall
+            # back to the plain mesh scan — cheaper than set + sort.
+            scan: Sequence[int] = (
+                peers[t]
+                if dense or e0 in exp_changed
+                else sorted({e0, *cands})
+            )
+        elif not k0t or k0t == _PROVIDER:
+            # old run found no valid peer offer for t, and unchanged
+            # exporters still offer nothing — only changed ones can.
+            scan = peers[t] if dense else sorted(cands)
+        else:
+            scan = peers[t]
         tasn = asns[t]
         best_pl = -1
         best_e = -1
         best_si = -1
         best_m = 0
-        for e in peers[t]:  # ascending e: first win at a length is lowest via
+        for e in scan:  # ascending e: first win at a length is lowest via
             ke = kind[e]
             if ke == _ORIGIN:
                 sel = -1
@@ -1014,6 +1129,7 @@ def _converge_delta(
                 plen[t] = 0
                 touched[t] = 1
                 changed_p2.add(t)
+                cleared.append(t)
         else:
             if (kind[t] != _PEER or via[t] != best_e
                     or root[t] != best_si or plen[t] != best_pl):
@@ -1027,18 +1143,23 @@ def _converge_delta(
                 fmask[t] = best_m | bit_arr[best_e]
 
     # ---- Phase 3 delta: provider-route subtrees hanging off any changed
-    # exporter are stale — walk the old children lists and clear them.
+    # exporter are stale.  A slot still holding _PROVIDER here is an old
+    # survivor (via == via0), and provider routes only ever point at a
+    # topology customer — so walking customers[v2] and filtering on
+    # kind/via visits exactly the old via0-children, without building a
+    # full O(n) children array.
     changed12 = exp_changed | changed_p2
     stack2 = list(changed12)
     while stack2:
         v2 = stack2.pop()
-        for d in children[v2]:
+        for d in customers[v2]:
             if kind[d] == _PROVIDER and via[d] == v2:
                 kind[d] = 0
                 via[d] = -1
                 root[d] = -1
                 plen[d] = 0
                 touched[d] = 1
+                cleared.append(d)
                 stack2.append(d)
 
     heap = []
@@ -1058,8 +1179,12 @@ def _converge_delta(
             for c in customers[e]:
                 if asns[c] not in eset:
                     push_(heap, (base2 + c, _NO_RANK, si))
-    for t in range(n):
-        if not touched[t] or kind[t]:
+    # Every slot that went route->empty was appended to `cleared` when it
+    # was cleared (withdraw, origin-status, phase-2 removal, phase-3
+    # invalidation), so the reseed only visits the dirty region instead
+    # of scanning all n slots.  Re-settled slots skip via the kind check.
+    for t in cleared:
+        if kind[t]:
             continue
         tasn = asns[t]
         for v2 in providers[t]:
@@ -1361,28 +1486,121 @@ class OutcomeCache:
 
 
 # -- multiprocessing worker plumbing ------------------------------------------
-# The compiled topology is shipped once per worker via the pool
-# initializer; tasks then carry only the (tiny) canonical spec blobs and
-# results only the compact route-table arrays.
+# The compiled topology (and any compiled security masks, deduped) are
+# shipped once per worker via the pool initializer; tasks then carry
+# whole *chains* of (tiny) canonical spec blobs ordered for delta
+# affinity, and results carry one compact entry per chain point: either
+# a route table or a reference to an earlier table plus a pending plen
+# shift.  Workers converge incrementally exactly like the serial sweep
+# path, so the 10x delta-chaining win survives the fan-out.
 
 _WORKER_TOPOLOGY: Optional[CompiledTopology] = None
+_WORKER_SECURITIES: Tuple["CompiledSecurity", ...] = ()
+
+_DELTA_MODES = ("noop", "shift", "cone", "fallback", "full")
+
+# Chain-result entries: ("table", kind, via, root, plen) ships a full
+# route table; ("shift", base_pos, pending) references the table entry
+# at base_pos in the same chain, sharing all four arrays with a pending
+# uniform plen shift (0 for a pure noop).  The two shapes differ in
+# arity, so the alias is a variadic tuple dispatched on entry[0].
+ChainEntryT = Tuple[Any, ...]
+ChainBlobT = Tuple[Tuple[int, Tuple[int, ...], Optional[Tuple[int, ...]]], ...]
+ChainResultT = Tuple[List[ChainEntryT], Dict[str, int], int]
 
 
-def _pool_init(compiled: CompiledTopology) -> None:
-    global _WORKER_TOPOLOGY
+def _pool_init(
+    compiled: CompiledTopology,
+    securities: Sequence["CompiledSecurity"] = (),
+) -> None:
+    global _WORKER_TOPOLOGY, _WORKER_SECURITIES
     _WORKER_TOPOLOGY = compiled
+    _WORKER_SECURITIES = tuple(securities)
 
 
-def _pool_run(spec_blob: Tuple) -> Tuple[bytes, array, array, array]:
+def _pool_run_chain(chain: Sequence[Tuple[ChainBlobT, int]]) -> ChainResultT:
+    """Converge one delta-affinity chain of (spec_blob, sec_slot) items.
+
+    Mirrors the serial sweep loop: each point reuses the previous
+    point's route table when the regime allows (noop/shift/cone), and
+    only regime transitions or security-fingerprint changes pay a full
+    converge.  Shift points ship no arrays at all — just a reference to
+    the chain's last full table and the accumulated plen offset."""
     ct = _WORKER_TOPOLOGY
     assert ct is not None  # set by the pool initializer
-    specs = tuple(
-        (ct.idx[asn], epath, frozenset(epath),
-         None if ato is None else frozenset(ato))
-        for asn, epath, ato in spec_blob
-    )
-    kind, via, root, plen = _converge(ct, specs)
-    return bytes(kind), array("l", via), array("l", root), array("l", plen)
+    secs = _WORKER_SECURITIES
+    n = ct.n
+    entries: List[ChainEntryT] = []
+    counts = dict.fromkeys(_DELTA_MODES, 0)
+    saved = 0
+    prev_specs: Optional[Tuple[SpecT, ...]] = None
+    prev_slot = -2  # sec slot of the previous point (-1 = unsecured)
+    table: Optional[TableT] = None
+    pending = 0  # un-materialized plen shift carried by `table`
+    base_pos = -1  # entries index of the table backing shift references
+    for spec_blob, sec_slot in chain:
+        specs = tuple(
+            (ct.idx[asn], epath, frozenset(epath),
+             None if ato is None else frozenset(ato))
+            for asn, epath, ato in spec_blob
+        )
+        sec = None if sec_slot < 0 else secs[sec_slot]
+        mode = "full"
+        if prev_specs is not None and sec_slot == prev_slot:
+            assert table is not None
+            if specs == prev_specs:
+                counts["noop"] += 1
+                saved += n
+                entries.append(("shift", base_pos, pending))
+                continue
+            shift = PropagationEngine._shift_delta(prev_specs, specs, sec)
+            if shift is not None:
+                pending += shift
+                counts["shift"] += 1
+                saved += n
+                entries.append(("shift", base_pos, pending))
+                prev_specs = specs
+                continue
+            if pending:
+                # cone deltas need real plen values; materialize like
+                # CompiledOutcome._table (origins/unreached untouched)
+                kind0, via0, root0, plen0 = table
+                plen0 = [
+                    p + pending if (k and k != _ORIGIN) else p
+                    for k, p in zip(kind0, plen0)
+                ]
+                table = (kind0, via0, root0, plen0)
+                pending = 0
+            try:
+                res = _converge_delta(ct, prev_specs, table, specs, sec)
+            except _DeltaUnsupported:
+                res = None
+            if res is not None:
+                table, frontier = res
+                mode = "cone"
+                saved += max(0, n - frontier)
+            else:
+                mode = "fallback"
+                table = None
+        else:
+            table = None
+            pending = 0
+        if table is None:
+            table = (
+                _converge(ct, specs) if sec is None
+                else _converge_secure(ct, specs, sec)
+            )
+            pending = 0
+        counts[mode] += 1
+        kind, via, root, plen = table
+        entries.append((
+            "table", bytes(kind),
+            array("l", via), array("l", root), array("l", plen),
+        ))
+        base_pos = len(entries) - 1
+        prev_specs = specs
+        prev_slot = sec_slot
+    return entries, counts, saved
 
 
 class PropagationEngine:
@@ -1433,6 +1651,24 @@ class PropagationEngine:
             "peering_propagation_delta_saved_total",
             "AS slots reused from the previous route table by delta runs",
         ).labels()
+        # Parallel-sweep instrumentation: chains dispatched to pool
+        # workers, worker-side regime counts (also folded into the
+        # overall delta counters above), and pool degradations — spawn
+        # (no fork on this platform) or serial (pool creation failed).
+        self._par_chains = self.metrics.counter(
+            "peering_propagation_parallel_chains_total",
+            "Delta chains dispatched to pool workers",
+        ).labels()
+        self._par_delta_runs = self.metrics.counter(
+            "peering_propagation_parallel_delta_runs_total",
+            "Worker-side incremental propagation runs by regime",
+            ("mode",),
+        )
+        self._pool_fallbacks = self.metrics.counter(
+            "peering_propagation_pool_fallbacks_total",
+            "Parallel sweeps degraded to a spawn context or serial runs",
+            ("kind",),
+        )
 
     @property
     def compile_count(self) -> int:
@@ -1668,23 +1904,35 @@ class PropagationEngine:
         """Converge a whole sweep; with ``parallel=N`` fan the cache
         misses out over N worker processes sharing one compiled topology.
 
-        Secured sweeps run serially in-process: the policy compiles
-        per-announcement (verdicts depend on prefix and origins), and
-        shipping mask tables to pool workers is not worth it for the
-        campaign-sized workloads that use them.
+        Misses are reordered for delta affinity (same steering group —
+        and same security fingerprint — adjacent) and chained through
+        incremental reconvergence both serially and inside each pool
+        worker, so a steering sweep pays full converges only at group
+        boundaries.  Secured sweeps compile the policy per announcement
+        (verdicts depend on prefix and origins) and ship the deduped
+        compiled masks to workers alongside the topology.
         """
-        if security is not None:
-            return [
-                self.propagate(a, use_cache=use_cache, security=security)
-                for a in announcements
-            ]
         announcements = list(announcements)
         compiled = self.compiled()
+        secs: List[Optional["CompiledSecurity"]]
+        if security is None:
+            secs = [None] * len(announcements)
+        elif hasattr(security, "compile_for"):
+            secs = [
+                security.compile_for(a)  # type: ignore[attr-defined]
+                for a in announcements
+            ]
+            secs = [s if s is not None and s.active else None for s in secs]
+        else:
+            one = security if security.active else None
+            secs = [one] * len(announcements)
+        fps = [None if s is None else s.fingerprint for s in secs]
+
         results: List[Optional[RoutingOutcome]] = [None] * len(announcements)
         miss_idx: List[int] = []
         keys: List[Tuple] = []
         for i, announcement in enumerate(announcements):
-            key = (compiled.version, canonical_key(announcement), None)
+            key = (compiled.version, canonical_key(announcement), fps[i])
             keys.append(key)
             cached = self.cache.get(key) if use_cache else None
             if cached is not None:
@@ -1693,40 +1941,62 @@ class PropagationEngine:
                 miss_idx.append(i)
 
         if miss_idx:
-            workers = 0 if parallel is None else min(parallel, len(miss_idx))
+            aff = [
+                (_affinity_key(announcements[i]), fps[i]) for i in miss_idx
+            ]
+            workers = 0 if not parallel else min(int(parallel), len(miss_idx))
+            outcomes: Optional[List[CompiledOutcome]] = None
             if workers > 1:
-                outcomes: List[RoutingOutcome] = list(self._run_parallel(
-                    compiled, [announcements[i] for i in miss_idx], workers
-                ))
+                outcomes = self._run_parallel_chains(
+                    compiled,
+                    [announcements[i] for i in miss_idx],
+                    [secs[i] for i in miss_idx],
+                    [fps[i] for i in miss_idx],
+                    _partition_chains(aff, workers),
+                )
+            if outcomes is not None:
+                for pos, outcome in enumerate(outcomes):
+                    i = miss_idx[pos]
+                    results[i] = outcome
+                    if use_cache:
+                        self.cache.put(keys[i], outcome)
             else:
-                # Serial sweeps chain through delta propagation: every
-                # miss reuses the previous miss's route table (all
-                # outcomes in one call share a compiled graph version),
-                # so consecutive steering variants converge incrementally.
-                outcomes = []
+                # Serial (or pool-degraded) sweeps chain through delta
+                # propagation in affinity order: every miss reuses the
+                # previous miss's route table where the regime allows.
                 prev: Optional[RoutingOutcome] = None
-                for i in miss_idx:
+                [chain] = _partition_chains(aff, 1)
+                for pos in chain:
+                    i = miss_idx[pos]
                     outcome = self._run_delta(
-                        compiled, announcements[i], prev, None, None
+                        compiled, announcements[i], prev, secs[i], fps[i]
                     )
-                    outcomes.append(outcome)
+                    results[i] = outcome
+                    if use_cache:
+                        self.cache.put(keys[i], outcome)
                     prev = outcome
-            for i, outcome in zip(miss_idx, outcomes):
-                results[i] = outcome
-                if use_cache:
-                    self.cache.put(keys[i], outcome)
         return results  # type: ignore[return-value]
 
-    def _run_parallel(
+    def _run_parallel_chains(
         self,
         compiled: CompiledTopology,
         announcements: Sequence[Announcement],
-        workers: int,
-    ) -> List[CompiledOutcome]:
+        secs: Sequence[Optional["CompiledSecurity"]],
+        fps: Sequence[Optional[Tuple]],
+        chains: List[List[int]],
+    ) -> Optional[List[CompiledOutcome]]:
+        """Run delta chains in a worker pool; None = degrade to serial.
+
+        Ships the compiled topology plus the *unique* compiled-security
+        objects once per worker; each task is one chain of canonical
+        spec blobs with a slot index into that security table.  Workers
+        return one compact entry per point (a table, or a reference to
+        an earlier in-chain table plus a pending plen shift) and their
+        per-regime counts, which fold into the engine's delta metrics."""
         import multiprocessing
 
-        blobs = []
         all_specs: List[Tuple[SpecT, ...]] = []
+        blobs: List[Tuple] = []
         for announcement in announcements:
             specs = _compile_specs(compiled, announcement)  # validates origins
             all_specs.append(specs)
@@ -1736,28 +2006,85 @@ class PropagationEngine:
                     for spec in announcement.origins
                 )
             )
+        # Dedupe shipped securities: (fingerprint, drop-sets) pins the
+        # converge-relevant state, so sweeps under one policy ship each
+        # distinct mask table once instead of once per announcement.
+        sec_objs: List["CompiledSecurity"] = []
+        slot_of: Dict[Tuple, int] = {}
+        slots: List[int] = []
+        for sec in secs:
+            if sec is None:
+                slots.append(-1)
+                continue
+            skey = (
+                sec.fingerprint,
+                tuple(sorted(
+                    (o, tuple(sorted(d))) for o, d in sec.drops.items()
+                )),
+            )
+            slot = slot_of.get(skey)
+            if slot is None:
+                slot = len(sec_objs)
+                sec_objs.append(sec)
+                slot_of[skey] = slot
+            slots.append(slot)
+        payloads = [
+            [(blobs[pos], slots[pos]) for pos in chain] for chain in chains
+        ]
+        ctx: multiprocessing.context.BaseContext
         try:
             ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork
-            ctx = multiprocessing.get_context()
+        except ValueError:  # platform without fork: pickle the topology
+            ctx = multiprocessing.get_context("spawn")
+            self._pool_fallbacks.labels("spawn").inc()
         try:
             with ctx.Pool(
-                processes=workers, initializer=_pool_init, initargs=(compiled,)
+                processes=len(payloads),
+                initializer=_pool_init,
+                initargs=(compiled, sec_objs),
             ) as pool:
-                raw = pool.map(_pool_run, blobs)
+                raw = pool.map(_pool_run_chain, payloads)
         except (OSError, PermissionError):
             # Sandboxed/locked-down hosts without working semaphores:
-            # degrade to in-process execution rather than failing the sweep.
-            return [self._run(compiled, a) for a in announcements]
-        self._runs.inc(len(announcements))  # worker runs aren't timed here
-        outcomes = []
-        for (kind_b, via_a, root_a, plen_a), specs in zip(raw, all_specs):
-            table = (bytearray(kind_b), via_a.tolist(), root_a.tolist(), plen_a.tolist())
-            outcomes.append(CompiledOutcome(
-                self.graph, compiled, table, tuple(s[1] for s in specs),
-                specs=specs, security_fp=None,
-            ))
-        return outcomes
+            # degrade to serial delta chaining rather than failing.
+            self._pool_fallbacks.labels("serial").inc()
+            return None
+        outcomes: List[Optional[CompiledOutcome]] = [None] * len(announcements)
+        for chain, (entries, counts, saved) in zip(chains, raw):
+            chain_outcomes: List[CompiledOutcome] = []
+            for pos, entry in zip(chain, entries):
+                specs = all_specs[pos]
+                spec_paths = tuple(s[1] for s in specs)
+                if entry[0] == "table":
+                    _tag, kind_b, via_a, root_a, plen_a = entry
+                    table = (
+                        bytearray(kind_b), via_a.tolist(),
+                        root_a.tolist(), plen_a.tolist(),
+                    )
+                    outcome = CompiledOutcome(
+                        self.graph, compiled, table, spec_paths,
+                        specs=specs, security_fp=fps[pos],
+                    )
+                else:
+                    _tag2, base_pos, pending = entry
+                    base = chain_outcomes[base_pos]
+                    outcome = CompiledOutcome(
+                        self.graph, compiled,
+                        (base._kind, base._via, base._root, base._plen),
+                        spec_paths, specs=specs, security_fp=fps[pos],
+                        plen_shift=pending,
+                    )
+                chain_outcomes.append(outcome)
+                outcomes[pos] = outcome
+            for mode, count in counts.items():
+                if count:
+                    self._delta_runs.labels(mode).inc(count)
+                    self._par_delta_runs.labels(mode).inc(count)
+            self._delta_saved.inc(float(saved))
+            # noops return the prior table and are not "runs" serially
+            self._runs.inc(sum(counts.values()) - counts["noop"])
+            self._par_chains.inc()
+        return outcomes  # type: ignore[return-value]
 
     # -- reporting ------------------------------------------------------------
 
@@ -1770,9 +2097,20 @@ class PropagationEngine:
             "cache": self.cache.stats(),
             "delta": {
                 mode: int(self._delta_runs.labels(mode).value)
-                for mode in ("noop", "shift", "cone", "fallback", "full")
+                for mode in _DELTA_MODES
             },
             "delta_saved_slots": int(self._delta_saved.value),
+            "parallel": {
+                "chains": int(self._par_chains.value),
+                "delta": {
+                    mode: int(self._par_delta_runs.labels(mode).value)
+                    for mode in _DELTA_MODES
+                },
+                "pool_fallbacks": {
+                    kind: int(self._pool_fallbacks.labels(kind).value)
+                    for kind in ("spawn", "serial")
+                },
+            },
         }
 
 

@@ -19,12 +19,17 @@ The generator is fully deterministic for a given
 
 from __future__ import annotations
 
+import bz2
+import gzip
+import os
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    IO, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union,
+)
 
 from .ixp import IXP
-from .topology import ASGraph, ASKind, ASNode, PeeringPolicy
+from .topology import ASGraph, ASKind, ASNode, PeeringPolicy, Relationship
 
 __all__ = [
     "InternetConfig",
@@ -33,6 +38,8 @@ __all__ = [
     "build_internet",
     "build_amsix",
     "build_caida_like",
+    "load_caida_serial",
+    "dump_caida_serial",
     "degree_stats",
     "Internet",
 ]
@@ -697,3 +704,150 @@ def degree_stats(graph: ASGraph) -> Dict[str, float]:
         ),
         "max_cone_fraction": (best_cone / n) if n else 0.0,
     }
+
+
+# -- CAIDA serial ingestion ----------------------------------------------------
+
+SerialSource = Union[str, "os.PathLike[str]", Iterable[str]]
+
+
+def _serial_lines(source: SerialSource) -> Iterator[str]:
+    """Lines of a serial file: a path (``.gz``/``.bz2`` transparently
+    decompressed) or any iterable of strings."""
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        fh: IO[str]
+        if path.endswith(".bz2"):
+            fh = bz2.open(path, "rt", encoding="utf-8")
+        elif path.endswith(".gz"):
+            fh = gzip.open(path, "rt", encoding="utf-8")
+        else:
+            fh = open(path, "r", encoding="utf-8")
+        with fh:
+            yield from fh
+    else:
+        yield from source
+
+
+def load_caida_serial(source: SerialSource) -> Internet:
+    """Load a published CAIDA AS-relationship *serial* snapshot.
+
+    The public format is one edge per line — ``<provider>|<customer>|-1``
+    for transit, ``<peer>|<peer>|0`` for settlement-free peering — with
+    ``#`` comment headers; newer snapshots append a fourth ``|source``
+    field (``bgp``/``mlp``/…), which is ignored.  ``source`` may be a
+    filesystem path (``.gz``/``.bz2`` decompressed transparently) or any
+    iterable of lines, so tests can feed literal strings.
+
+    Exact duplicate lines are tolerated (snapshots occasionally repeat
+    an edge); conflicting relationships for one AS pair, self-loops,
+    unknown codes, and malformed lines raise :class:`ValueError` with
+    the offending line number.  The whole build runs under
+    :meth:`ASGraph.batch` — one version bump however many edges — and
+    node/edge insertion order is a pure function of the input, so the
+    resulting graph version and :func:`degree_stats` are identical
+    across runs on the same snapshot.
+
+    AS kinds are inferred from the loaded structure (provider-free ASes
+    with customers are the clique :meth:`ASGraph.tier1_clique` reports,
+    other transit ASes are TRANSIT, the rest ACCESS), which is what
+    makes the stats directly comparable with :func:`build_caida_like`
+    output.  Node metadata beyond that (names, countries, IXP
+    memberships) is not part of the serial format.
+    """
+    graph = ASGraph()
+    # Local bookkeeping: inside batch() the graph's frozen views are
+    # deliberately stale, so dup/conflict detection must not consult
+    # graph.relationship().
+    seen: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+    known: Set[int] = set()
+    with graph.batch():
+        for lineno, raw in enumerate(_serial_lines(source), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"line {lineno}: expected 'a|b|rel[|source]', got {line!r}"
+                )
+            try:
+                a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno}: non-integer field in {line!r}"
+                ) from exc
+            if rel not in (-1, 0):
+                raise ValueError(
+                    f"line {lineno}: unknown relationship code {rel}"
+                )
+            if a == b:
+                raise ValueError(f"line {lineno}: self-loop on AS{a}")
+            pair = (a, b) if a < b else (b, a)
+            norm = (-1, a, b) if rel == -1 else (0, *pair)
+            prev = seen.get(pair)
+            if prev is not None:
+                if prev != norm:
+                    raise ValueError(
+                        f"line {lineno}: conflicting relationship for "
+                        f"AS{a}--AS{b}"
+                    )
+                continue  # exact duplicate
+            seen[pair] = norm
+            for asn in pair:
+                if asn not in known:
+                    known.add(asn)
+                    graph.add_as(ASNode(asn=asn, name=f"AS{asn}"))
+            if rel == -1:
+                graph.add_provider(customer=b, provider=a)
+            else:
+                graph.add_peering(a, b)
+    for asn in graph.asns():
+        node = graph.get(asn)
+        if graph.customers(asn):
+            node.kind = (
+                ASKind.TIER1 if not graph.providers(asn) else ASKind.TRANSIT
+            )
+        else:
+            node.kind = ASKind.ACCESS
+    return Internet(graph=graph)
+
+
+def dump_caida_serial(
+    graph: ASGraph,
+    path: Union[str, "os.PathLike[str]"],
+    comment: str = "repro.inet AS-relationship dump",
+) -> None:
+    """Write ``graph`` in the CAIDA AS-relationship serial format.
+
+    Edges stream in :meth:`ASGraph.relationship_edges` order, so the
+    bytes are a pure function of the graph and
+    ``load_caida_serial(path)`` reproduces the topology exactly
+    (relationships and ASNs; generator metadata is out of format).
+    ``.gz``/``.bz2`` suffixes compress transparently.
+    """
+    c2p: List[str] = []
+    p2p: List[str] = []
+    for a, b, rel in graph.relationship_edges():
+        if rel is Relationship.CUSTOMER_PROVIDER:
+            c2p.append(f"{b}|{a}|-1\n")  # serial code orients provider first
+        else:
+            p2p.append(f"{a}|{b}|0\n")
+    out = os.fspath(path)
+    fh: IO[str]
+    if out.endswith(".bz2"):
+        fh = bz2.open(out, "wt", encoding="utf-8")
+    elif out.endswith(".gz"):
+        fh = gzip.open(out, "wt", encoding="utf-8")
+    else:
+        fh = open(out, "w", encoding="utf-8")
+    with fh:
+        fh.write(f"# {comment}\n")
+        fh.write(
+            f"# {len(graph)} ASes | {len(c2p)} provider-customer edges"
+            f" | {len(p2p)} peer edges\n"
+        )
+        fh.write("# format: <provider-as>|<customer-as>|-1 "
+                 "or <peer-as>|<peer-as>|0\n")
+        fh.writelines(c2p)
+        fh.writelines(p2p)

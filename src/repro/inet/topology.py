@@ -287,6 +287,23 @@ class ASGraph:
         p2p = sum(len(s) for s in self._peers.values()) // 2
         return c2p + p2p
 
+    def relationship_edges(self) -> Iterator[Tuple[int, int, Relationship]]:
+        """Every edge exactly once, in a deterministic order.
+
+        Customer-provider edges stream first as ``(customer, provider,
+        CUSTOMER_PROVIDER)`` ordered by (customer, provider) ASN; peer
+        edges follow as ``(lo, hi, PEER)`` ordered by (lo, hi).  This is
+        the canonical ordering :func:`repro.inet.gen.dump_caida_serial`
+        writes, so dump → load round-trips are byte-stable.
+        """
+        for asn in sorted(self._nodes):
+            for provider in sorted(self._providers[asn]):
+                yield asn, provider, Relationship.CUSTOMER_PROVIDER
+        for asn in sorted(self._nodes):
+            for peer in sorted(self._peers[asn]):
+                if asn < peer:
+                    yield asn, peer, Relationship.PEER
+
     # -- analysis ----------------------------------------------------------------
 
     def customer_cone(self, asn: int) -> Set[int]:

@@ -69,8 +69,10 @@ class LookingGlass:
     def propagation_savings(self) -> Dict[str, object]:
         """How much work incremental convergence saved: delta runs by
         regime (noop/shift/cone vs fallback/full), the fraction answered
-        incrementally, and the total AS slots reused from previous route
-        tables instead of recomputed."""
+        incrementally, the total AS slots reused from previous route
+        tables instead of recomputed, and — for parallel sweeps — the
+        worker-chain counts, per-regime splits inside the pool, and any
+        pool degradations (fork→spawn, pool→serial)."""
         stats = self.testbed.propagation.stats()
         delta_obj = stats.get("delta")
         delta: Dict[str, int] = (
@@ -82,10 +84,35 @@ class LookingGlass:
             delta.get(mode, 0) for mode in ("noop", "shift", "cone")
         )
         total = sum(delta.values())
+        par_obj = stats.get("parallel")
+        parallel: Dict[str, object] = {}
+        if isinstance(par_obj, dict):
+            par_delta_obj = par_obj.get("delta")
+            par_delta: Dict[str, int] = (
+                {str(k): int(v) for k, v in par_delta_obj.items()}
+                if isinstance(par_delta_obj, dict) else {}
+            )
+            par_incremental = sum(
+                par_delta.get(mode, 0) for mode in ("noop", "shift", "cone")
+            )
+            par_total = sum(par_delta.values())
+            fallbacks = par_obj.get("pool_fallbacks")
+            parallel = {
+                "chains": int(par_obj.get("chains", 0) or 0),
+                "delta_runs": par_delta,
+                "incremental_fraction": (
+                    (par_incremental / par_total) if par_total else 0.0
+                ),
+                "pool_fallbacks": (
+                    {str(k): int(v) for k, v in fallbacks.items()}
+                    if isinstance(fallbacks, dict) else {}
+                ),
+            }
         return {
             "delta_runs": delta,
             "incremental_fraction": (incremental / total) if total else 0.0,
             "slots_reused": int(saved_obj) if isinstance(saved_obj, int) else 0,
+            "parallel": parallel,
         }
 
     def route(self, prefix: Prefix, vantage: int) -> Optional["ASRoute"]:
