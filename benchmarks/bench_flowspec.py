@@ -1,0 +1,163 @@
+"""Benchmark + determinism gate for the FlowSpec DDoS campaign.
+
+Standalone script (no pytest dependency) so CI can run it in the
+``security-scenarios`` job:
+
+    PYTHONPATH=src python benchmarks/bench_flowspec.py \\
+        --output BENCH_flowspec.json --check
+
+Runs the DDoS-scrubbing campaign (surgical discard, scrubber redirect,
+blunt discard) across the FlowSpec deployment-rate sweep plus the
+rule-flood robustness scenario, and reports:
+
+* the absorbed / leaked / collateral table per defense posture;
+* the rule-flood outcome (install-limit ceiling, eviction/rejection
+  counts, quarantined originators);
+* wall-clock per campaign run.
+
+``--check`` is a *determinism and robustness* gate, not a speed gate:
+
+* the campaign is fully seeded, so the scenario tables must match the
+  committed baseline (``BENCH_flowspec_baseline.json``) **exactly** —
+  two seeded runs are byte-identical, and any drift means FlowSpec
+  semantics changed (regenerate deliberately: rerun without ``--check``
+  and commit the output);
+* every absorbed-volume curve must be monotone non-decreasing in
+  deployment rate (guaranteed by nested deployer sampling — a violation
+  is a bug, not noise);
+* the rule-flood scenario must never exceed the per-AS install limit
+  and must end with the churning originator quarantined.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.secroute.ddos import DdosCampaignConfig, run_ddos_campaign
+
+BASELINE = Path(__file__).with_name("BENCH_flowspec_baseline.json")
+
+
+def campaign_config(quick: bool) -> DdosCampaignConfig:
+    if quick:
+        return DdosCampaignConfig(
+            seed=2014,
+            rates=(0.0, 0.5, 1.0),
+            trials=2,
+            n_ases=100,
+            n_tier1=5,
+            n_sources=12,
+            attack_packets=200,
+        )
+    return DdosCampaignConfig(seed=2014)
+
+
+def run_benchmarks(quick: bool):
+    config = campaign_config(quick)
+
+    start = time.perf_counter()
+    result = run_ddos_campaign(config)
+    first_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rerun = run_ddos_campaign(config)
+    second_s = time.perf_counter() - start
+
+    print(result.table())
+    payload = result.to_dict()
+    return {
+        "config": {
+            "quick": quick,
+            "seed": config.seed,
+            "rates": list(config.rates),
+            "trials": config.trials,
+            "n_ases": config.n_ases,
+            "n_tier1": config.n_tier1,
+            "n_sources": config.n_sources,
+            "attack_packets": config.attack_packets,
+            "install_limit": config.install_limit,
+            "churn_budget": config.churn_budget,
+        },
+        "campaign": payload,
+        "reruns_identical": json.dumps(payload, sort_keys=True)
+        == json.dumps(rerun.to_dict(), sort_keys=True),
+        "monotone": {
+            name: scenario.is_monotone_absorbed()
+            for name, scenario in result.scenarios.items()
+        },
+        "rule_flood_ok": result.rule_flood is not None
+        and result.rule_flood.limits_respected
+        and bool(result.rule_flood.quarantined),
+        "timing": {
+            "first_run_s": round(first_s, 3),
+            "second_run_s": round(second_s, 3),
+        },
+    }
+
+
+def check_regression(results) -> int:
+    failures = []
+    if not results["reruns_identical"]:
+        failures.append("two seeded campaign runs differ (determinism broken)")
+    for name, monotone in results["monotone"].items():
+        if not monotone:
+            failures.append(f"{name} absorbed-volume curve is not monotone")
+    if not results["rule_flood_ok"]:
+        failures.append(
+            "rule-flood scenario violated install limits or failed to quarantine"
+        )
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        if baseline["config"] != results["config"]:
+            print("baseline config differs; skipping exact-table comparison")
+        elif (
+            baseline["campaign"]["scenarios"] != results["campaign"]["scenarios"]
+            or baseline["campaign"]["rule_flood"] != results["campaign"]["rule_flood"]
+        ):
+            failures.append(
+                "campaign tables drifted from the committed baseline "
+                "(seeded campaign: this means FlowSpec semantics changed)"
+            )
+    else:
+        print(f"no baseline at {BASELINE}; skipping exact-table comparison")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "determinism gate: tables match baseline, absorbed curves monotone, "
+        "install limits held, flooder quarantined"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small config for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_flowspec.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on table drift vs committed baseline, broken monotonicity, "
+        "or rule-flood limit violations",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(args.quick)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    if args.check:
+        return check_regression(results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

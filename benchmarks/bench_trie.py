@@ -61,6 +61,74 @@ def test_trie_insert_throughput(benchmark, table):
     )
 
 
+def _linear_lpm(outcomes, dst):
+    """The pre-trie DataPlane._match: scan every installed prefix and
+    keep the most specific that contains ``dst`` — kept here as the
+    reference the trie is benchmarked (and checked) against."""
+    best = None
+    for prefix, outcome in outcomes.items():
+        if prefix.contains(dst):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, outcome)
+    return best
+
+
+@pytest.fixture(scope="module")
+def dataplane(table):
+    """A DataPlane with a forwarding-table's worth of installed prefixes
+    (sentinel outcomes; only the LPM index is exercised here)."""
+    from repro.inet.dataplane import DataPlane
+    from repro.inet.topology import ASGraph
+
+    plane = DataPlane(ASGraph())
+    for i, prefix in enumerate(table[:10_000]):
+        plane.install(prefix, i)
+    return plane
+
+
+def test_dataplane_lpm_trie(benchmark, dataplane, targets):
+    """DataPlane._match is a radix descent: per-packet cost is bounded by
+    address width, independent of table size."""
+    sample = targets[:1_000]
+
+    def sweep():
+        hits = 0
+        for addr in sample:
+            if dataplane._match(addr) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(sweep)
+    # The trie must agree with the linear reference everywhere.
+    for addr in sample[::50]:
+        assert dataplane._match(addr) == _linear_lpm(dataplane._outcomes, addr)
+    emit(
+        "dataplane LPM (trie)",
+        [[f"{len(dataplane._outcomes)} installed", f"{len(sample)} packets", f"{hits} hits"]],
+    )
+
+
+def test_dataplane_lpm_linear_reference(benchmark, dataplane, targets):
+    """The O(table) scan the trie replaced.  Smaller sample (each packet
+    walks all 10k installed prefixes); compare the per-packet OPS with
+    test_dataplane_lpm_trie in the benchmark table."""
+    sample = targets[:50]
+    outcomes = dataplane._outcomes
+
+    def sweep():
+        hits = 0
+        for addr in sample:
+            if _linear_lpm(outcomes, addr) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(sweep)
+    emit(
+        "dataplane LPM (linear scan reference)",
+        [[f"{len(outcomes)} installed", f"{len(sample)} packets", f"{hits} hits"]],
+    )
+
+
 def test_trie_lookup_throughput(benchmark, table, targets):
     trie = PrefixTrie(4)
     for prefix in table:

@@ -21,6 +21,10 @@ Everything derives from one seed: rerunning this script reproduces the
 same table bit-for-bit, and the reference propagation path produces the
 same numbers as the compiled engine.
 
+The *data-plane* side of the route-security suite — RFC 5575 FlowSpec
+filtering against DDoS traffic, with the same deployment-rate sweep —
+lives in ``examples/ddos_scrubbing.py``.
+
 Run:  PYTHONPATH=src python examples/hijack_campaign.py
 """
 

@@ -203,3 +203,47 @@ class FaultPlan:
             lambda: surface.withdraw(asn, prefix),
         )
         return self
+
+    # -- DDoS scenarios -----------------------------------------------------------
+    # flood_traffic drives a repro.inet.dataplane.DataPlane (duck-typed:
+    # anything with send(ingress, packet) -> delivery); inject_flowspec /
+    # withdraw_flowspec drive a repro.secroute.flowspec.FlowSpecDistributor
+    # (announce/withdraw).  As above, no repro.secroute import here.
+
+    def flood_traffic(
+        self, plane, flows, at: float, collect: Optional[List] = None
+    ) -> "FaultPlan":
+        """At ``at``, inject every ``(ingress_asn, packet)`` in ``flows``
+        through ``plane.send`` — one attack (or measurement) wave.
+        Deliveries are appended to ``collect`` when given, so the campaign
+        can score absorbed vs leaked volume afterwards."""
+        waves = list(flows)
+
+        def fire() -> None:
+            for ingress, packet in waves:
+                delivery = plane.send(ingress, packet)
+                if collect is not None:
+                    collect.append(delivery)
+
+        self._at(at, "flood", f"{len(waves)}pkts", fire)
+        return self
+
+    def inject_flowspec(self, distributor, rule, at: float) -> "FaultPlan":
+        """At ``at``, announce one FlowSpec rule into ``distributor``
+        (the defense arriving mid-attack — or an attacker probing it)."""
+        self._at(
+            at, "flowspec", f"AS{rule.originator}>{rule.dst_prefix}",
+            lambda: distributor.announce(rule),
+        )
+        return self
+
+    def withdraw_flowspec(
+        self, distributor, originator: int, at: float, prefix=None
+    ) -> "FaultPlan":
+        """At ``at``, withdraw ``originator``'s FlowSpec rules (for one
+        destination prefix, or all of them)."""
+        self._at(
+            at, "flowspec-withdraw", f"AS{originator}",
+            lambda: distributor.withdraw(originator, prefix),
+        )
+        return self

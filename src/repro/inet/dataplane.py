@@ -7,25 +7,47 @@ traffic" (§2/§3) exercises: PECAN-style alternate-path measurements,
 anycast catchment, interception experiments, and spoofing control all ride
 on it.
 
+Installed prefixes are indexed in a :class:`~repro.net.trie.PrefixTrie`
+per address family, so the per-packet longest-prefix match is one radix
+descent instead of a scan over every installed outcome (the win is
+measured in ``benchmarks/bench_trie.py`` at forwarding-table scale).
+
 Spoofing: each AS can enforce source-address validation on traffic it
 originates (BCP 38).  PEERING's safety rules allow only "carefully
 controlled" spoofing — the testbed-level checks live in
 :mod:`repro.core.safety`; here the mechanism is modeled.
+
+FlowSpec: attach a :class:`~repro.secroute.flowspec.FlowSpecDistributor`
+with :meth:`DataPlane.attach_flowspec` and every packet is checked
+against the installed rules at each AS hop *before* forwarding —
+discarded (``FLOWSPEC_DROPPED``), rate-limited (``RATE_LIMITED``),
+diverted to a scrubbing AS (``SCRUBBED``), or remarked and forwarded.
+
+TTL semantics (pinned by tests): the TTL is a *transit* budget.  It is
+checked only when another forwarding hop is required, so a packet whose
+TTL reaches zero exactly as it arrives at an origin AS for the matched
+prefix is DELIVERED, not TTL_EXPIRED — the origin check deliberately
+precedes the expiry check.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
+from ..net.trie import PrefixTrie
+from ..secroute.flowspec import EnforcementVerdict
 from .routing import RoutingOutcome
 from .topology import ASGraph
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..secroute.flowspec import FlowSpecDistributor
 
 __all__ = ["DeliveryStatus", "Delivery", "DataPlane"]
 
 
+from dataclasses import dataclass
 from enum import Enum
 
 
@@ -36,6 +58,9 @@ class DeliveryStatus(Enum):
     SOURCE_FILTERED = "source-filtered"  # BCP 38 dropped a spoofed packet
     INTERCEPTED = "intercepted"  # delivered to an AS that is not the
     # legitimate origin (hijack experiments)
+    FLOWSPEC_DROPPED = "flowspec-dropped"  # traffic-rate 0 (discard) rule
+    RATE_LIMITED = "rate-limited"  # traffic-rate budget exhausted
+    SCRUBBED = "scrubbed"  # redirected to a scrubbing AS
 
 
 @dataclass
@@ -64,9 +89,14 @@ class DataPlane:
     def __init__(self, graph: ASGraph) -> None:
         self.graph = graph
         self._outcomes: Dict[Prefix, RoutingOutcome] = {}
+        self._tries: Dict[int, PrefixTrie[RoutingOutcome]] = {
+            4: PrefixTrie(4),
+            6: PrefixTrie(6),
+        }
         self._prefix_owner: Dict[Prefix, int] = {}
         self._source_validators: Set[int] = set()
         self._taps: Dict[int, Callable[[Packet], None]] = {}
+        self._flowspec: Optional["FlowSpecDistributor"] = None
         # Called before every lookup; lets the owner (the testbed) flush
         # lazily recomputed routing outcomes.
         self.prepare: Optional[Callable[[], None]] = None
@@ -78,11 +108,13 @@ class DataPlane:
         flagged INTERCEPTED.
         """
         self._outcomes[prefix] = outcome
+        self._tries[prefix.version].insert(prefix, outcome)
         if owner is not None:
             self._prefix_owner[prefix] = owner
 
     def uninstall(self, prefix: Prefix) -> None:
-        self._outcomes.pop(prefix, None)
+        if self._outcomes.pop(prefix, None) is not None:
+            self._tries[prefix.version].remove(prefix)
         self._prefix_owner.pop(prefix, None)
 
     def enable_source_validation(self, asn: int) -> None:
@@ -95,13 +127,13 @@ class DataPlane:
         style processing at a PEERING server)."""
         self._taps[asn] = callback
 
+    def attach_flowspec(self, distributor: "FlowSpecDistributor") -> None:
+        """Enforce ``distributor``'s installed rules at every AS hop."""
+        self._flowspec = distributor
+
     def _match(self, dst: IPAddress) -> Optional[Tuple[Prefix, RoutingOutcome]]:
-        best: Optional[Tuple[Prefix, RoutingOutcome]] = None
-        for prefix, outcome in self._outcomes.items():
-            if prefix.contains(dst):
-                if best is None or prefix.length > best[0].length:
-                    best = (prefix, outcome)
-        return best
+        """Longest-prefix match over installed outcomes (radix descent)."""
+        return self._tries[dst.version].lookup(dst)
 
     def send(
         self,
@@ -113,7 +145,9 @@ class DataPlane:
 
         ``legitimate_sources``: prefixes the ingress AS may legitimately
         source traffic from; consulted only when the ingress enforces
-        source validation.
+        source validation.  Passing an explicitly *empty* set means the
+        ingress may source nothing — every packet is SOURCE_FILTERED —
+        exactly like passing None; BCP 38 admits only what is listed.
         """
         if self.prepare is not None:
             self.prepare()
@@ -137,17 +171,43 @@ class DataPlane:
             )
         prefix, outcome = match
 
+        flowspec = self._flowspec
         current = ingress_asn
         path: List[int] = [current]
         while True:
             tap = self._taps.get(current)
             if tap is not None:
                 tap(packet)
+            if flowspec is not None:
+                decision = flowspec.decide(current, packet)
+                if decision is not None:
+                    if decision.verdict is EnforcementVerdict.DROP:
+                        return Delivery(
+                            DeliveryStatus.FLOWSPEC_DROPPED, packet, tuple(path), current
+                        )
+                    if decision.verdict is EnforcementVerdict.RATE_EXCEEDED:
+                        return Delivery(
+                            DeliveryStatus.RATE_LIMITED, packet, tuple(path), current
+                        )
+                    if decision.verdict is EnforcementVerdict.REDIRECT:
+                        scrubber = decision.scrubber
+                        assert scrubber is not None
+                        return Delivery(
+                            DeliveryStatus.SCRUBBED,
+                            packet,
+                            tuple(path) + (scrubber,),
+                            scrubber,
+                        )
+                    assert decision.dscp is not None
+                    packet = packet.mark(decision.dscp)
             route = outcome.route(current)
             if route is None:
                 return Delivery(DeliveryStatus.BLACKHOLE, packet, tuple(path), current)
             if route.via is None:
-                # Reached an origin for this prefix.
+                # Reached an origin for this prefix.  Deliberately checked
+                # before TTL expiry: the TTL budgets *transit* hops, so
+                # arriving at the origin with TTL 0 still delivers (see
+                # module docstring; pinned by tests).
                 owner = self._prefix_owner.get(prefix)
                 status = (
                     DeliveryStatus.INTERCEPTED

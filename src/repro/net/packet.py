@@ -44,6 +44,9 @@ class Packet:
     ident: int = field(default_factory=lambda: next(_ident))
     trace: Tuple[int, ...] = ()
     inner: Optional["Packet"] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    dscp: Optional[int] = None  # set by FlowSpec traffic-marking
 
     def __post_init__(self) -> None:
         if self.ttl < 0:
@@ -63,14 +66,21 @@ class Packet:
     def expired(self) -> bool:
         return self.ttl == 0
 
+    def mark(self, dscp: int) -> "Packet":
+        """Return a copy remarked with ``dscp`` (FlowSpec traffic-marking)."""
+        return replace(self, dscp=dscp)
+
     def reply(self, payload: Any = None, proto: Optional[str] = None) -> "Packet":
-        """Build a response packet with src/dst swapped and a fresh TTL."""
+        """Build a response packet with src/dst (and ports) swapped and a
+        fresh TTL."""
         return Packet(
             src=self.dst,
             dst=self.src,
             ttl=DEFAULT_TTL,
             proto=proto if proto is not None else self.proto,
             payload=payload,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
         )
 
     def encapsulate(self, src: IPAddress, dst: IPAddress, proto: str = "tunnel") -> "Packet":

@@ -12,8 +12,22 @@ substrate its own defenses and the machinery to score them:
 * :mod:`~repro.secroute.campaign` — seeded hijack/leak campaigns and
   coverage-vs-deployment curves (imported lazily: it pulls in the
   propagation engines and the synthetic-Internet generator).
+* :mod:`~repro.secroute.flowspec` — RFC 5575 traffic filtering:
+  validated rule distribution, per-AS install limits, and rule-flood
+  quarantine (enforced in :meth:`repro.inet.dataplane.DataPlane.send`).
+* :mod:`~repro.secroute.ddos` — DDoS-scrubbing campaigns sweeping
+  FlowSpec deployment (lazy, like campaign: it pulls the generator).
 """
 
+from .flowspec import (
+    EnforcementDecision,
+    EnforcementVerdict,
+    FlowSpecAction,
+    FlowSpecActionKind,
+    FlowSpecDistributor,
+    FlowSpecRule,
+    resolver_from_outcomes,
+)
 from .policy import CompiledSecurity, RovMode, SecurityPolicy
 from .rpki import Roa, RoaRegistry, ValidationState
 
@@ -24,6 +38,13 @@ __all__ = [
     "RovMode",
     "SecurityPolicy",
     "CompiledSecurity",
+    "FlowSpecActionKind",
+    "FlowSpecAction",
+    "FlowSpecRule",
+    "EnforcementVerdict",
+    "EnforcementDecision",
+    "FlowSpecDistributor",
+    "resolver_from_outcomes",
     # lazily re-exported from .campaign (PEP 562):
     "secure_propagate",
     "AttackSurface",
@@ -32,6 +53,14 @@ __all__ = [
     "CampaignResult",
     "run_campaign",
     "SCENARIOS",
+    # lazily re-exported from .ddos:
+    "DDOS_PREFIX",
+    "DDOS_SCENARIOS",
+    "DdosCampaignConfig",
+    "DdosScenarioResult",
+    "RuleFloodResult",
+    "DdosCampaignResult",
+    "run_ddos_campaign",
 ]
 
 _CAMPAIGN_EXPORTS = frozenset(
@@ -46,10 +75,26 @@ _CAMPAIGN_EXPORTS = frozenset(
     }
 )
 
+_DDOS_EXPORTS = frozenset(
+    {
+        "DDOS_PREFIX",
+        "DDOS_SCENARIOS",
+        "DdosCampaignConfig",
+        "DdosScenarioResult",
+        "RuleFloodResult",
+        "DdosCampaignResult",
+        "run_ddos_campaign",
+    }
+)
+
 
 def __getattr__(name: str) -> object:
     if name in _CAMPAIGN_EXPORTS:
         from . import campaign
 
         return getattr(campaign, name)
+    if name in _DDOS_EXPORTS:
+        from . import ddos
+
+        return getattr(ddos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -30,6 +30,7 @@ from .routemon import RouteMonitor, SpecLike
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..core.testbed import Testbed
     from ..inet.routing import ASRoute
+    from ..secroute.flowspec import FlowSpecDistributor, FlowSpecRule
     from ..secroute.rpki import RoaRegistry, ValidationState
 
 __all__ = ["LookingGlass"]
@@ -40,17 +41,24 @@ class LookingGlass:
 
     ``roas`` (or the testbed's own adopted registry) adds the RPKI view:
     per-route RFC 6811 validation state, rendered alongside each vantage
-    line — what a real looking glass shows as ``RPKI: valid``."""
+    line — what a real looking glass shows as ``RPKI: valid``.
+
+    ``flowspec`` (a :class:`~repro.secroute.flowspec.FlowSpecDistributor`)
+    adds the traffic-filtering view: installed/rejected/evicted rule
+    counters, quarantined originators, and the §5.1-ordered rule table at
+    any vantage AS."""
 
     def __init__(
         self,
         testbed: "Testbed",
         monitor: Optional[RouteMonitor] = None,
         roas: Optional["RoaRegistry"] = None,
+        flowspec: Optional["FlowSpecDistributor"] = None,
     ) -> None:
         self.testbed = testbed
         self.monitor = monitor
         self.roas = roas
+        self.flowspec = flowspec
 
     def _registry(self) -> Optional["RoaRegistry"]:
         if self.roas is not None:
@@ -147,6 +155,24 @@ class LookingGlass:
         origin = route.path[-1] if route.path else self.testbed.asn
         return registry.validate(prefix, origin)
 
+    # -- FlowSpec view (traffic filtering) -------------------------------------
+
+    def flowspec_stats(self) -> Dict[str, object]:
+        """Rule lifecycle counters and current install state from the
+        wired distributor (installed / evicted / rejected-by-reason /
+        quarantines, deployer count, per-AS max vs limit).  Empty dict
+        when no FlowSpec distributor is wired."""
+        if self.flowspec is None:
+            return {}
+        return self.flowspec.stats()
+
+    def flowspec_rules(self, vantage: int) -> Tuple["FlowSpecRule", ...]:
+        """The FlowSpec rules installed at ``vantage``, in §5.1
+        enforcement order (empty without a wired distributor)."""
+        if self.flowspec is None:
+            return ()
+        return self.flowspec.rules_at(vantage)
+
     # -- origination view (announcement registry) -----------------------------
 
     def origins(self, prefix: Prefix) -> Dict[str, Tuple[str, SpecLike]]:
@@ -207,4 +233,6 @@ class LookingGlass:
             state = self.validation_state(prefix, vantage)
             rpki = "" if state is None else f"  [RPKI: {state.value}]"
             lines.append(f"  AS{vantage}: {shown}{rpki}")
+        if self.flowspec is not None:
+            lines.append(self.flowspec.render(vantages))
         return "\n".join(lines)

@@ -1,7 +1,13 @@
 """Workload generators: the Alexa-like web ecosystem and traffic models."""
 
 from .alexa import Resource, Site, WebConfig, WebEcosystem, build_web_ecosystem
-from .traffic import ProbeTrain, client_population, gravity_matrix
+from .traffic import (
+    ProbeTrain,
+    attack_flows,
+    client_population,
+    gravity_matrix,
+    zipf_attack_sources,
+)
 
 __all__ = [
     "Resource",
@@ -12,4 +18,6 @@ __all__ = [
     "ProbeTrain",
     "client_population",
     "gravity_matrix",
+    "zipf_attack_sources",
+    "attack_flows",
 ]

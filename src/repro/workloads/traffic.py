@@ -16,7 +16,13 @@ from ..inet.topology import ASGraph, ASKind
 from ..net.addr import IPAddress, Prefix
 from ..net.packet import Packet
 
-__all__ = ["ProbeTrain", "client_population", "gravity_matrix"]
+__all__ = [
+    "ProbeTrain",
+    "client_population",
+    "gravity_matrix",
+    "zipf_attack_sources",
+    "attack_flows",
+]
 
 
 @dataclass
@@ -57,6 +63,67 @@ def client_population(
         chosen.add(node.asn)
         result.append(node.asn)
     return result
+
+
+def zipf_attack_sources(
+    graph: ASGraph,
+    count: int,
+    total_packets: int,
+    seed: int = 0,
+    exponent: float = 1.1,
+    exclude: Sequence[int] = (),
+) -> List[Tuple[int, int]]:
+    """Sample a DDoS source population: ``count`` ASes picked by prefix
+    mass (botnets live where users do) with per-source volumes Zipf over
+    rank — a few heavy hitters, a long tail — normalized to
+    ``total_packets``.  Deterministic under ``seed``; returns
+    ``[(asn, n_packets), ...]`` heaviest first, every source >= 1 packet.
+    """
+    if count < 1 or total_packets < count:
+        raise ValueError("need count >= 1 and total_packets >= count")
+    rng = random.Random(seed)
+    banned = set(exclude)
+    candidates = [node for node in graph.nodes() if node.asn not in banned]
+    if len(candidates) < count:
+        raise ValueError(f"only {len(candidates)} candidate source ASes")
+    weights = [max(1, node.prefix_count) for node in candidates]
+    chosen: List[int] = []
+    seen = set()
+    while len(chosen) < count:
+        node = rng.choices(candidates, weights=weights)[0]
+        if node.asn in seen:
+            continue
+        seen.add(node.asn)
+        chosen.append(node.asn)
+    shares = [1.0 / (rank + 1) ** exponent for rank in range(count)]
+    total_share = sum(shares)
+    volumes = [
+        max(1, round(total_packets * share / total_share)) for share in shares
+    ]
+    # Rounding drift lands on the heaviest source, keeping the total exact.
+    volumes[0] += total_packets - sum(volumes)
+    return list(zip(chosen, volumes))
+
+
+def attack_flows(
+    sources: Sequence[Tuple[int, int]],
+    target: IPAddress,
+    proto: str = "udp",
+    dst_port: Optional[int] = None,
+    ttl: int = 64,
+) -> Iterator[Tuple[int, Packet]]:
+    """Expand ``[(source_asn, n_packets)]`` into the ``(ingress, packet)``
+    stream :meth:`repro.faults.plan.FaultPlan.flood_traffic` drives.
+
+    Source addresses are synthesized per source AS (one /32 per AS, so
+    BCP 38 at the ingress would pass them); the flow 5-tuple is fixed per
+    source, which is what a FlowSpec match component keys on."""
+    for source_asn, n_packets in sources:
+        src = IPAddress((10 << 24) | (source_asn & 0xFFFFFF), 4)
+        for _ in range(n_packets):
+            yield source_asn, Packet(
+                src=src, dst=target, proto=proto, dst_port=dst_port, ttl=ttl
+            )
 
 
 def gravity_matrix(

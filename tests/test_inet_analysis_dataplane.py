@@ -161,6 +161,22 @@ class TestDataPlane:
         delivery = plane.send(9, spoofed, legitimate_sources={Prefix("9.0.0.0/8")})
         assert delivery.status is DeliveryStatus.SOURCE_FILTERED
 
+    def test_source_validation_explicit_empty_set_filters_everything(self):
+        """An explicitly *empty* legitimate_sources set means the ingress
+        may source nothing: BCP 38 admits only what is listed, so even a
+        truthful source address is SOURCE_FILTERED (same as passing None).
+        """
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        plane.enable_source_validation(9)
+        packet = Packet(src=IPAddress("9.1.2.3"), dst=IPAddress("184.164.224.1"))
+        for sources in (set(), None):
+            delivery = plane.send(9, packet, legitimate_sources=sources)
+            assert delivery.status is DeliveryStatus.SOURCE_FILTERED
+            assert delivery.final_asn == 9
+
     def test_source_validation_allows_legitimate(self):
         g = two_origin_world()
         outcome = propagate(g, Announcement.single(5))
@@ -179,6 +195,32 @@ class TestDataPlane:
         packet = Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"), ttl=2)
         delivery = plane.send(9, packet)
         assert delivery.status is DeliveryStatus.TTL_EXPIRED
+
+    def test_ttl_expiring_exactly_at_origin_still_delivers(self):
+        """TTL is a *transit* budget: the path 9-4-1-3-5 is 4 hops, so
+        ttl=4 reaches the origin with TTL 0 and must be DELIVERED — the
+        origin check precedes the expiry check (pinned edge semantics)."""
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        packet = Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"), ttl=4)
+        delivery = plane.send(9, packet)
+        assert delivery.status is DeliveryStatus.DELIVERED
+        assert delivery.path == (9, 4, 1, 3, 5)
+        assert delivery.packet.ttl == 0
+
+    def test_ttl_one_short_of_origin_expires(self):
+        """...whereas ttl=3 dies at the last transit AS, one hop short."""
+        g = two_origin_world()
+        outcome = propagate(g, Announcement.single(5))
+        plane = DataPlane(g)
+        plane.install(Prefix("184.164.224.0/24"), outcome, owner=5)
+        packet = Packet(src=IPAddress("9.9.9.9"), dst=IPAddress("184.164.224.1"), ttl=3)
+        delivery = plane.send(9, packet)
+        assert delivery.status is DeliveryStatus.TTL_EXPIRED
+        assert delivery.final_asn == 3
+        assert delivery.path == (9, 4, 1, 3)
 
     def test_tap_sees_transit_traffic(self):
         g = two_origin_world()
