@@ -5,54 +5,30 @@
 IP addresses and potentially attract traffic to them, e.g., by anycasting
 a prefix from all PEERING providers and peers."
 
-This example runs that experiment:
+This example runs that experiment through :mod:`repro.anycast`:
 
 1. announce one prefix simultaneously from Amsterdam (IXP, many peers),
-   Atlanta, and Beijing (universities, transit upstreams);
-2. sample a weighted client population and measure the *catchment* — which
-   site each client's traffic lands at;
-3. show the leverage of the IXP site (rich peering pulls in most clients);
+   Atlanta, and Beijing (universities, transit upstreams) by wrapping the
+   testbed muxes in an :class:`~repro.anycast.AnycastService`;
+2. sample a Zipf-weighted client population and compute the *catchment* —
+   which site each client's traffic lands at — from the compiled route
+   table in one pass;
+3. compare the sites' pull (the transit sites soak up their upstreams'
+   customer cones; the IXP site serves what its peers bring);
 4. shift load by prepending at the dominant site and re-measure — the
-   standard anycast traffic-engineering move.
+   standard anycast traffic-engineering move — and read the stability
+   report: exactly which flows moved.
 
 Run:  python examples/anycast_catchment.py
 """
 
-from collections import Counter
-
-from repro.core import AnnouncementSpec, Testbed
+from repro.anycast import AnycastService, CatchmentMap
+from repro.core import Testbed
 from repro.inet.gen import InternetConfig
-from repro.workloads import client_population
+from repro.workloads import zipf_clients
 
 
 SITES = ["amsterdam01", "gatech01", "tsinghua01"]
-
-
-def measure_catchment(testbed, prefix, sites):
-    """Which announcement site each AS's traffic reaches.
-
-    Each site announces through a disjoint peer set, so the first hop
-    after PEERING... actually the catchment is identified by the peer the
-    packet enters PEERING through: we recover it from the forwarding
-    chain's last non-PEERING AS and match it against site peer sets.
-    """
-    outcome = testbed.outcome_for(prefix)
-    site_peers = {name: testbed.server(name).neighbor_asns for name in sites}
-    catchment = Counter()
-    assignments = {}
-    for asn, _route in outcome.items():
-        if asn == testbed.asn:
-            continue
-        chain = outcome.forwarding_chain(asn)
-        if chain[-1] != testbed.asn or len(chain) < 2:
-            continue
-        entry = chain[-2]  # the neighbor that hands traffic to PEERING
-        for name, peers in site_peers.items():
-            if entry in peers:
-                catchment[name] += 1
-                assignments[asn] = name
-                break
-    return catchment, assignments
 
 
 def main() -> None:
@@ -63,35 +39,29 @@ def main() -> None:
     prefix = client.prefixes[0]
     for site in SITES:
         client.attach(site)
-    client.announce(prefix)
+
+    service = AnycastService.from_testbed(testbed, site_names=SITES, prefix=prefix)
     print(f"anycasting {prefix} from {', '.join(SITES)}\n")
 
-    catchment, assignments = measure_catchment(testbed, prefix, SITES)
-    total = sum(catchment.values())
-    print("catchment by announcement site (all ASes with a route):")
-    for site, count in catchment.most_common():
-        print(f"  {site:14s} {count:5d} ASes ({100 * count / total:.1f}%)")
+    population = zipf_clients(testbed.graph, ases=100, clients=100_000, seed=5)
+    catchment = CatchmentMap.compute(service, population)
+    print("catchment over a user-weighted client population "
+          f"({population.n_ases} ASes, {population.total_clients} clients):")
+    print("\n".join(catchment.render()))
 
-    population = client_population(testbed.graph, 100, seed=5)
-    served = Counter(assignments.get(asn, "none") for asn in population)
-    print("\ncatchment over a user-weighted client population (100 ASes):")
-    for site, count in served.most_common():
-        print(f"  {site:14s} {count:3d} clients")
-
-    dominant = catchment.most_common(1)[0][0]
-    print(f"\n== shifting load away from {dominant} with 3x prepending ==")
-    server = testbed.server(dominant)
-    server.announce(
-        "anycast", prefix, AnnouncementSpec(prepend=3)
+    dominant = max(
+        catchment.volume_by_site, key=lambda s: catchment.volume_by_site[s]
     )
-    catchment_after, _ = measure_catchment(testbed, prefix, SITES)
-    print("catchment after prepending:")
-    for site in SITES:
-        before, after = catchment[site], catchment_after[site]
-        arrow = "->"
-        print(f"  {site:14s} {before:5d} {arrow} {after:5d}")
-    moved = catchment[dominant] - catchment_after[dominant]
-    print(f"\n{moved} ASes moved off {dominant}")
+    print(f"\n== shifting load away from {dominant} with 3x prepending ==")
+    service.adjust(dominant, prepend=3)
+    after = CatchmentMap.compute(service, population)
+    print("\n".join(after.render()))
+
+    shift = catchment.diff(after)
+    print()
+    print("\n".join(shift.render()))
+    lost, _gained = shift.site_churn().get(dominant, (0, 0))
+    print(f"\n{lost} clients moved off {dominant}")
     print("done.")
 
 

@@ -1,0 +1,36 @@
+"""Anycast deployments: multi-site services, population-scale catchment
+mapping, and the closed-loop traffic engineer.
+
+The PEERING §3 anycast story as a subsystem: :class:`AnycastService`
+models one prefix announced from many sites with per-site steering
+(prepend / poison / steering-community uplink selection);
+:class:`CatchmentMap` maps millions of Zipf-weighted clients to sites in
+one batched sweep over the compiled route table; and
+:class:`TrafficEngineer` closes the loop, steering the catchment toward
+per-site load targets while riding the engine's cheap delta regimes.
+"""
+
+from .catchment import UNSERVED, CatchmentMap, CatchmentShift
+from .engineer import (
+    EngineerConfig,
+    IterationRecord,
+    RebalanceReport,
+    SteeringMove,
+    TrafficEngineer,
+)
+from .service import ANYCAST_ASN, AnycastService, AnycastSite, SiteSteering
+
+__all__ = [
+    "ANYCAST_ASN",
+    "AnycastService",
+    "AnycastSite",
+    "SiteSteering",
+    "CatchmentMap",
+    "CatchmentShift",
+    "UNSERVED",
+    "EngineerConfig",
+    "IterationRecord",
+    "RebalanceReport",
+    "SteeringMove",
+    "TrafficEngineer",
+]

@@ -1,0 +1,298 @@
+"""Population-scale catchment mapping over the compiled route table.
+
+A **catchment map** answers, for a volume-weighted client population,
+"which anycast site serves whom, and how much".  The computation is
+deliberately array-shaped so it scales to millions of clients:
+
+1. clients are a :class:`~repro.workloads.ClientPopulation` — one
+   ``(asn, clients)`` entry per vantage AS, so a million Zipf-weighted
+   clients collapse to tens of thousands of entries;
+2. the service's multi-origin announcement converges once (or, for a
+   batch of steering states, in one :meth:`propagate_many` sweep — the
+   engine chains the batch through its delta regimes);
+3. per-AS site assignment reads the compiled outcome's **root array**
+   (:meth:`~repro.inet.engine.CompiledOutcome.origin_spec_index`): the
+   origin-spec index that won each AS *is* the site index, because the
+   service emits one spec per site in site order.  No forwarding-chain
+   walks, no route materialization — two array lookups per client AS.
+
+For plain (reference) :class:`~repro.inet.routing.RoutingOutcome`
+objects the map falls back to forwarding-chain entry-uplink matching —
+the same identity the hand-rolled example used — which is what the
+property tests compare the fast path against.
+
+:meth:`CatchmentMap.diff` is the stability report: which client ASes
+flipped sites between two maps, how much volume moved along each
+``site -> site`` flow, and per-site churn — the measurement Tangled-style
+anycast studies run after every steering change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..inet.engine import CompiledOutcome
+from ..inet.routing import Announcement, RoutingOutcome
+from ..workloads.traffic import ClientPopulation
+from .service import AnycastService
+
+__all__ = ["CatchmentMap", "CatchmentShift", "UNSERVED"]
+
+# Assignment sentinel for clients with no route to any site (ASN absent
+# from the topology, poisoned everywhere, or behind a failed site with
+# no alternative).
+UNSERVED = "(unserved)"
+
+
+@dataclass(frozen=True)
+class CatchmentShift:
+    """The stability report between two catchment maps.
+
+    ``flows[(a, b)]`` is the client volume that moved from site ``a`` to
+    site ``b`` (either end may be :data:`UNSERVED`); ``flipped_ases`` /
+    ``flipped_volume`` total the movers; ``stability`` is the fraction
+    of volume that stayed put (1.0 = no churn)."""
+
+    flows: Tuple[Tuple[Tuple[str, str], int], ...]
+    flipped_ases: int
+    flipped_volume: int
+    total_volume: int
+
+    @property
+    def flipped_fraction(self) -> float:
+        return self.flipped_volume / self.total_volume if self.total_volume else 0.0
+
+    @property
+    def stability(self) -> float:
+        return 1.0 - self.flipped_fraction
+
+    def site_churn(self) -> Dict[str, Tuple[int, int]]:
+        """``{site: (volume lost, volume gained)}`` over the flip flows."""
+        churn: Dict[str, List[int]] = {}
+        for (src, dst), volume in self.flows:
+            churn.setdefault(src, [0, 0])[0] += volume
+            churn.setdefault(dst, [0, 0])[1] += volume
+        return {site: (lost, gained) for site, (lost, gained) in churn.items()}
+
+    def render(self) -> List[str]:
+        lines = [
+            f"catchment shift: {self.flipped_ases} client ASes / "
+            f"{self.flipped_volume} clients flipped "
+            f"({self.flipped_fraction:.1%} of volume, "
+            f"stability {self.stability:.1%})"
+        ]
+        for (src, dst), volume in self.flows:
+            lines.append(f"  {src} -> {dst}: {volume} clients")
+        return lines
+
+
+class CatchmentMap:
+    """Per-site client/volume shares plus a queryable per-AS assignment."""
+
+    def __init__(
+        self,
+        sites: Tuple[str, ...],
+        assignment: Dict[int, str],
+        weights: Dict[int, int],
+        outcome: RoutingOutcome,
+        origin_asn: int,
+    ) -> None:
+        self.sites = sites
+        self._assignment = assignment
+        self._weights = weights
+        self._outcome = outcome
+        self._origin_asn = origin_asn
+        self.volume_by_site: Dict[str, int] = {s: 0 for s in sites}
+        self.ases_by_site: Dict[str, int] = {s: 0 for s in sites}
+        self.unserved_volume = 0
+        self.unserved_ases = 0
+        for asn, site in assignment.items():
+            volume = weights[asn]
+            if site == UNSERVED:
+                self.unserved_volume += volume
+                self.unserved_ases += 1
+            else:
+                self.volume_by_site[site] += volume
+                self.ases_by_site[site] += 1
+        self.total_volume = sum(weights.values())
+        self.total_ases = len(weights)
+        self._entry_memo: Dict[str, Dict[int, int]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def compute(
+        cls,
+        service: AnycastService,
+        population: ClientPopulation,
+        outcome: Optional[RoutingOutcome] = None,
+        observe: bool = True,
+    ) -> "CatchmentMap":
+        """Map ``population`` under the service's current steering.  The
+        outcome is delta-chained off the previous steering state via
+        :meth:`AnycastService.outcome` unless one is passed in."""
+        if outcome is None:
+            outcome = service.outcome()
+        cmap = cls.from_outcome(service, population, outcome)
+        if observe:
+            cmap.observe(service)
+        return cmap
+
+    @classmethod
+    def compute_many(
+        cls,
+        service: AnycastService,
+        population: ClientPopulation,
+        announcements: Sequence[Announcement],
+        parallel: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> List["CatchmentMap"]:
+        """Map ``population`` under a batch of steering states in **one**
+        batched ``propagate_many`` sweep — the engine partitions the
+        batch into affinity chains and converges them through its delta
+        regimes (in parallel with ``parallel=N``)."""
+        outcomes = service.engine.propagate_many(
+            announcements, parallel=parallel, use_cache=use_cache
+        )
+        return [
+            cls.from_outcome(service, population, outcome)
+            for outcome in outcomes
+        ]
+
+    @classmethod
+    def from_outcome(
+        cls,
+        service: AnycastService,
+        population: ClientPopulation,
+        outcome: RoutingOutcome,
+        prefer_arrays: bool = True,
+    ) -> "CatchmentMap":
+        """Map ``population`` against an already-converged ``outcome``.
+
+        Compiled outcomes use the root-array fast path; anything else
+        (or ``prefer_arrays=False``, the property tests' lever) recovers
+        each client's site from its forwarding chain's entry uplink."""
+        sites = service.active_site_names()
+        origin_asn = service.asn
+        assignment: Dict[int, str] = {}
+        weights: Dict[int, int] = {}
+        if prefer_arrays and isinstance(outcome, CompiledOutcome):
+            index_of, kind, root, _plen = outcome.spec_table()
+            for asn, volume in population.items():
+                weights[asn] = weights.get(asn, 0) + volume
+                i = index_of.get(asn)
+                if i is None or not kind[i] or asn == origin_asn:
+                    assignment[asn] = UNSERVED
+                else:
+                    assignment[asn] = sites[root[i]]
+        else:
+            uplink_site = service.uplink_site_index()
+            for asn, volume in population.items():
+                weights[asn] = weights.get(asn, 0) + volume
+                assignment[asn] = _entry_site(
+                    outcome, asn, origin_asn, uplink_site
+                )
+        return cls(sites, assignment, weights, outcome, origin_asn)
+
+    # -- queries ---------------------------------------------------------------
+
+    def site_of(self, asn: int) -> Optional[str]:
+        """The site serving one client AS (:data:`UNSERVED` for mapped
+        clients with no route; None for ASes outside the population)."""
+        return self._assignment.get(asn)
+
+    def volume_shares(self) -> Dict[str, float]:
+        total = self.total_volume or 1
+        return {s: self.volume_by_site[s] / total for s in self.sites}
+
+    def as_shares(self) -> Dict[str, float]:
+        total = self.total_ases or 1
+        return {s: self.ases_by_site[s] / total for s in self.sites}
+
+    @property
+    def unserved_fraction(self) -> float:
+        return self.unserved_volume / self.total_volume if self.total_volume else 0.0
+
+    def observe(self, service: AnycastService) -> None:
+        """Push this map's shares into the service's telemetry."""
+        service.record_shares(self.volume_shares())
+
+    def entry_volumes(self, site: str) -> Dict[int, int]:
+        """``{uplink asn: client volume}`` for one site — which uplink
+        each client's traffic enters the anycast origin through (the
+        candidate set for poison / uplink-drop steering moves).  Walked
+        from forwarding chains and memoized per map."""
+        memo = self._entry_memo.get(site)
+        if memo is not None:
+            return memo
+        volumes: Dict[int, int] = {}
+        for asn, assigned in self._assignment.items():
+            if assigned != site:
+                continue
+            chain = self._outcome.forwarding_chain(asn)
+            if len(chain) >= 2 and chain[-1] == self._origin_asn:
+                volumes[chain[-2]] = volumes.get(chain[-2], 0) + self._weights[asn]
+        self._entry_memo[site] = volumes
+        return volumes
+
+    # -- stability -------------------------------------------------------------
+
+    def diff(self, other: "CatchmentMap") -> CatchmentShift:
+        """Stability report from ``self`` to ``other`` over the client
+        ASes the two maps share."""
+        flows: Dict[Tuple[str, str], int] = {}
+        flipped_ases = 0
+        flipped_volume = 0
+        total = 0
+        for asn, before in self._assignment.items():
+            after = other._assignment.get(asn)
+            if after is None:
+                continue
+            volume = self._weights[asn]
+            total += volume
+            if before == after:
+                continue
+            flipped_ases += 1
+            flipped_volume += volume
+            key = (before, after)
+            flows[key] = flows.get(key, 0) + volume
+        ordered = tuple(
+            sorted(flows.items(), key=lambda kv: (-kv[1], kv[0]))
+        )
+        return CatchmentShift(
+            flows=ordered,
+            flipped_ases=flipped_ases,
+            flipped_volume=flipped_volume,
+            total_volume=total,
+        )
+
+    def render(self) -> List[str]:
+        lines = [
+            f"catchment: {self.total_volume} clients across "
+            f"{self.total_ases} ASes, {len(self.sites)} sites"
+        ]
+        shares = self.volume_shares()
+        for site in sorted(self.sites, key=lambda s: -self.volume_by_site[s]):
+            lines.append(
+                f"  {site}: {self.volume_by_site[site]} clients "
+                f"({shares[site]:.1%}) across {self.ases_by_site[site]} ASes"
+            )
+        if self.unserved_volume:
+            lines.append(
+                f"  {UNSERVED}: {self.unserved_volume} clients "
+                f"({self.unserved_fraction:.1%})"
+            )
+        return lines
+
+
+def _entry_site(
+    outcome: RoutingOutcome,
+    asn: int,
+    origin_asn: int,
+    uplink_site: Dict[int, str],
+) -> str:
+    chain = outcome.forwarding_chain(asn)
+    if len(chain) < 2 or chain[-1] != origin_asn:
+        return UNSERVED
+    return uplink_site.get(chain[-2], UNSERVED)

@@ -228,6 +228,29 @@ class FaultPlan:
         self._at(at, "flood", f"{len(waves)}pkts", fire)
         return self
 
+    # -- anycast scenarios --------------------------------------------------------
+    # These drive a repro.anycast.service.AnycastService (duck-typed: any
+    # object with fail_site/restore_site) — a whole site dropping out of
+    # the anycast announcement, the failover study §3 runs: where does
+    # its catchment land, and does it come home on restore?  As above, no
+    # repro.anycast import here.
+
+    def fail_anycast_site(self, service, name: str, at: float) -> "FaultPlan":
+        """At ``at``, take anycast site ``name`` down: its origin spec
+        drops out of the service's announcement."""
+        self._at(
+            at, "anycast-fail", name, lambda: service.fail_site(name)
+        )
+        return self
+
+    def restore_anycast_site(self, service, name: str, at: float) -> "FaultPlan":
+        """At ``at``, bring anycast site ``name`` back into the
+        announcement."""
+        self._at(
+            at, "anycast-restore", name, lambda: service.restore_site(name)
+        )
+        return self
+
     def inject_flowspec(self, distributor, rule, at: float) -> "FaultPlan":
         """At ``at``, announce one FlowSpec rule into ``distributor``
         (the defense arriving mid-attack — or an attacker probing it)."""

@@ -1380,6 +1380,33 @@ class CompiledOutcome(RoutingOutcome):
         route = self.route(asn)
         return route.path if route is not None else None
 
+    # -- anycast fast path ----------------------------------------------------
+
+    def origin_spec_index(self, asn: int) -> Optional[int]:
+        """Which origin spec's export terminates ``asn``'s forwarding
+        chain — the index into the announcement's ``origins`` tuple, or
+        None when unreached.  For a multi-site anycast announcement (one
+        spec per site) this *is* the catchment identity: the site whose
+        announcement front won ``asn``, answered from the root array
+        without materializing a route."""
+        i = self._compiled.idx.get(asn)
+        if i is None or not self._kind[i]:
+            return None
+        return self._root[i]
+
+    def spec_table(self) -> Tuple[Dict[int, int], bytearray, List[int], List[int]]:
+        """The raw per-AS arrays ``(index_of, kind, root, plen)`` with any
+        pending path-length shift applied.
+
+        ``index_of`` maps ASN to slot; ``kind[slot]`` is the RouteKind
+        code (0 = unreached), ``root[slot]`` the winning origin-spec
+        index, ``plen[slot]`` the selected path length.  This is the bulk
+        interface population-scale catchment mapping reads — millions of
+        clients collapse to two array lookups each instead of per-AS
+        route materialization.  Callers must not mutate the arrays."""
+        kind, _via, root, plen = self._table()
+        return self._compiled.idx, kind, root, plen
+
 
 class OutcomeCache:
     """LRU cache of converged outcomes keyed by

@@ -47,10 +47,13 @@ class Packet:
     src_port: Optional[int] = None
     dst_port: Optional[int] = None
     dscp: Optional[int] = None  # set by FlowSpec traffic-marking
+    size: int = 64  # on-the-wire bytes, for volumetric accounting
 
     def __post_init__(self) -> None:
         if self.ttl < 0:
             raise PacketError(f"negative TTL {self.ttl}")
+        if self.size < 0:
+            raise PacketError(f"negative size {self.size}")
 
     def decrement_ttl(self) -> "Packet":
         """Return a copy with TTL decremented; PacketError if already zero."""

@@ -318,14 +318,22 @@ class FlowSpecDistributor:
             **{f"rejected_{reason}": 0 for reason in _REJECT_REASONS},
         }
         self._metric_children: Dict[str, "CounterChild"] = {}
+        # rule -> [packets, bytes] matched by enforcement (any verdict,
+        # including in-budget rate-limit forwards): the "is my filter
+        # actually catching the attack" signal operators watch.
+        self._rule_traffic: Dict[FlowSpecRule, List[int]] = {}
+        self._traffic_children: Dict[str, "CounterChild"] = {}
 
     # -- telemetry -------------------------------------------------------------
 
-    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+    def bind_metrics(self, metrics: "MetricsRegistry", mux: str = "") -> None:
         """Export rule lifecycle counters:
         ``peering_flowspec_rules_{installed,evicted}_total``,
-        ``peering_flowspec_rules_rejected_total{reason=...}``, and
-        ``peering_flowspec_originator_quarantines_total``."""
+        ``peering_flowspec_rules_rejected_total{reason=...}``,
+        ``peering_flowspec_originator_quarantines_total``, and matched
+        traffic volume ``peering_flowspec_matched_{packets,bytes}_total``
+        labelled by ``mux`` (the vantage this distributor enforces at;
+        one registry can aggregate several muxes' distributors)."""
         installed = metrics.counter(
             "peering_flowspec_rules_installed_total",
             "FlowSpec rules accepted and installed at deploying ASes",
@@ -352,6 +360,20 @@ class FlowSpecDistributor:
                 for reason in _REJECT_REASONS
             },
         }
+        matched_packets = metrics.counter(
+            "peering_flowspec_matched_packets_total",
+            "Packets matched by installed FlowSpec rules",
+            ("mux",),
+        )
+        matched_bytes = metrics.counter(
+            "peering_flowspec_matched_bytes_total",
+            "Bytes matched by installed FlowSpec rules",
+            ("mux",),
+        )
+        self._traffic_children = {
+            "packets": matched_packets.labels(mux),
+            "bytes": matched_bytes.labels(mux),
+        }
 
     def _count(self, key: str, amount: int = 1) -> None:
         if amount <= 0:
@@ -360,6 +382,17 @@ class FlowSpecDistributor:
         child = self._metric_children.get(key)
         if child is not None:
             child.inc(amount)
+
+    def _account(self, rule: FlowSpecRule, packet: Packet) -> None:
+        traffic = self._rule_traffic.setdefault(rule, [0, 0])
+        traffic[0] += 1
+        traffic[1] += packet.size
+        packets = self._traffic_children.get("packets")
+        if packets is not None:
+            packets.inc()
+        matched_bytes = self._traffic_children.get("bytes")
+        if matched_bytes is not None and packet.size:
+            matched_bytes.inc(packet.size)
 
     # -- originator flood breaker ----------------------------------------------
 
@@ -523,6 +556,7 @@ class FlowSpecDistributor:
         for rule in rules:
             if not rule.matches(packet):
                 continue
+            self._account(rule, packet)
             action = rule.action
             if action.kind is FlowSpecActionKind.RATE_LIMIT:
                 if action.rate == 0:
@@ -540,6 +574,15 @@ class FlowSpecDistributor:
 
     # -- reporting -------------------------------------------------------------
 
+    def rule_counters(self) -> Dict[FlowSpecRule, Tuple[int, int]]:
+        """Lifetime ``{rule: (packets, bytes)}`` matched by enforcement —
+        survives withdrawal (a withdrawn filter's tally still tells the
+        operator what it caught)."""
+        return {
+            rule: (packets, volume)
+            for rule, (packets, volume) in self._rule_traffic.items()
+        }
+
     def stats(self) -> Dict[str, object]:
         """Lifecycle counters plus current install state — the payload
         the looking glass renders."""
@@ -551,6 +594,8 @@ class FlowSpecDistributor:
             "max_installed_at_one_as": max(installed_now.values(), default=0),
             "install_limit": self.install_limit,
             "quarantined": list(self.quarantined_originators()),
+            "matched_packets": sum(t[0] for t in self._rule_traffic.values()),
+            "matched_bytes": sum(t[1] for t in self._rule_traffic.values()),
         }
 
     def render(self, vantages: Optional[Iterable[int]] = None) -> str:
@@ -574,6 +619,18 @@ class FlowSpecDistributor:
                 "  quarantined originators: "
                 + ", ".join(f"AS{a}" for a in quarantined)
             )
+        if self._rule_traffic:
+            stats_pkts = sum(t[0] for t in self._rule_traffic.values())
+            stats_bytes = sum(t[1] for t in self._rule_traffic.values())
+            lines.append(
+                f"  matched traffic: {stats_pkts} packets / {stats_bytes} bytes"
+            )
+            top = sorted(
+                self._rule_traffic.items(),
+                key=lambda kv: (-kv[1][1], -kv[1][0], kv[0].sort_key()),
+            )[:3]
+            for rule, (packets, volume) in top:
+                lines.append(f"    {packets} pkts / {volume} B  {rule}")
         for vantage in vantages or []:
             rules = self.rules_at(vantage)
             lines.append(f"  AS{vantage}: {len(rules)} rules")

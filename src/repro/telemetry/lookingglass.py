@@ -28,6 +28,7 @@ from ..net.addr import Prefix
 from .routemon import RouteMonitor, SpecLike
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..anycast.service import AnycastService
     from ..core.testbed import Testbed
     from ..inet.routing import ASRoute
     from ..secroute.flowspec import FlowSpecDistributor, FlowSpecRule
@@ -45,8 +46,12 @@ class LookingGlass:
 
     ``flowspec`` (a :class:`~repro.secroute.flowspec.FlowSpecDistributor`)
     adds the traffic-filtering view: installed/rejected/evicted rule
-    counters, quarantined originators, and the §5.1-ordered rule table at
-    any vantage AS."""
+    counters, quarantined originators, matched traffic volume, and the
+    §5.1-ordered rule table at any vantage AS.
+
+    ``anycast`` (an :class:`~repro.anycast.service.AnycastService`) adds
+    the anycast view: per-site liveness and steering state, the last
+    measured per-site volume shares, and the last rebalance summary."""
 
     def __init__(
         self,
@@ -54,11 +59,13 @@ class LookingGlass:
         monitor: Optional[RouteMonitor] = None,
         roas: Optional["RoaRegistry"] = None,
         flowspec: Optional["FlowSpecDistributor"] = None,
+        anycast: Optional["AnycastService"] = None,
     ) -> None:
         self.testbed = testbed
         self.monitor = monitor
         self.roas = roas
         self.flowspec = flowspec
+        self.anycast = anycast
 
     def _registry(self) -> Optional["RoaRegistry"]:
         if self.roas is not None:
@@ -173,6 +180,28 @@ class LookingGlass:
             return ()
         return self.flowspec.rules_at(vantage)
 
+    # -- anycast view (catchment + steering) -----------------------------------
+
+    def anycast_stats(self) -> Dict[str, object]:
+        """The wired anycast service's state: per-site steering and
+        liveness, last measured volume shares, and the last rebalance
+        summary.  Empty dict when no service is wired."""
+        service = self.anycast
+        if service is None:
+            return {}
+        return {
+            "asn": service.asn,
+            "sites": list(service.active_site_names()),
+            "down": list(service.down_sites()),
+            "steering": {
+                name: service.steering_of(name).describe()
+                for name in service.active_site_names()
+            },
+            "shares": dict(service.last_shares),
+            "steering_changes": service.steering_changes,
+            "last_rebalance": service.last_rebalance,
+        }
+
     # -- origination view (announcement registry) -----------------------------
 
     def origins(self, prefix: Prefix) -> Dict[str, Tuple[str, SpecLike]]:
@@ -235,4 +264,6 @@ class LookingGlass:
             lines.append(f"  AS{vantage}: {shown}{rpki}")
         if self.flowspec is not None:
             lines.append(self.flowspec.render(vantages))
+        if self.anycast is not None:
+            lines.extend(self.anycast.describe())
         return "\n".join(lines)

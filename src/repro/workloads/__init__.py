@@ -2,11 +2,13 @@
 
 from .alexa import Resource, Site, WebConfig, WebEcosystem, build_web_ecosystem
 from .traffic import (
+    ClientPopulation,
     ProbeTrain,
     attack_flows,
     client_population,
     gravity_matrix,
     zipf_attack_sources,
+    zipf_clients,
 )
 
 __all__ = [
@@ -15,9 +17,11 @@ __all__ = [
     "WebConfig",
     "WebEcosystem",
     "build_web_ecosystem",
+    "ClientPopulation",
     "ProbeTrain",
     "client_population",
     "gravity_matrix",
     "zipf_attack_sources",
+    "zipf_clients",
     "attack_flows",
 ]

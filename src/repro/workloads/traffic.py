@@ -18,9 +18,11 @@ from ..net.packet import Packet
 
 __all__ = [
     "ProbeTrain",
+    "ClientPopulation",
     "client_population",
     "gravity_matrix",
     "zipf_attack_sources",
+    "zipf_clients",
     "attack_flows",
 ]
 
@@ -63,6 +65,129 @@ def client_population(
         chosen.add(node.asn)
         result.append(node.asn)
     return result
+
+
+@dataclass(frozen=True)
+class ClientPopulation:
+    """A volume-weighted anycast client population: ``(asn, clients)``
+    pairs, heaviest first.
+
+    The weights are *client counts* (simulated end users behind each
+    vantage AS), so a population of millions of clients collapses to one
+    entry per AS — which is what lets catchment mapping scale: assignment
+    is per-AS, volume accounting is per-entry.  Construct directly for
+    hand-built populations (entries may reference ASNs absent from a
+    topology; catchment mapping reports them as unserved) or sample one
+    with :func:`zipf_clients`."""
+
+    weights: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for asn, clients in self.weights:
+            if clients < 0:
+                raise ValueError(f"negative client count for AS{asn}")
+
+    @property
+    def total_clients(self) -> int:
+        return sum(clients for _asn, clients in self.weights)
+
+    @property
+    def n_ases(self) -> int:
+        return len(self.weights)
+
+    def asns(self) -> Tuple[int, ...]:
+        return tuple(asn for asn, _clients in self.weights)
+
+    def items(self) -> Tuple[Tuple[int, int], ...]:
+        return self.weights
+
+    def restrict(self, graph: ASGraph) -> "ClientPopulation":
+        """Drop entries whose ASN is absent from ``graph``."""
+        return ClientPopulation(
+            tuple((a, c) for a, c in self.weights if a in graph)
+        )
+
+
+def zipf_clients(
+    graph: ASGraph,
+    ases: int,
+    clients: int,
+    seed: int = 0,
+    exponent: float = 1.1,
+    kinds: Sequence[ASKind] = (ASKind.ACCESS, ASKind.ENTERPRISE),
+) -> ClientPopulation:
+    """Sample an anycast client population: ``ases`` vantage ASes picked
+    by prefix mass (users live where prefixes do), per-AS client volumes
+    Zipf over rank — a few heavy eyeball networks, a long tail —
+    normalized so the population totals exactly ``clients``.
+
+    Deterministic under ``seed``.  ``ases`` is capped at the number of
+    candidate ASes of the requested kinds; ``ases == 0`` yields the empty
+    population.  Raises if ``clients`` cannot give every sampled AS at
+    least one client.
+
+    Unlike :func:`client_population` (one weighted draw per attempt —
+    fine for hundreds of vantages), sampling here is batched over
+    precomputed cumulative weights, so population-scale vantage sets
+    (tens of thousands of ASes) sample in well under a second."""
+    if ases < 0:
+        raise ValueError("ases must be >= 0")
+    if ases == 0:
+        return ClientPopulation(())
+    sampled = _sample_by_mass(graph, ases, seed, kinds)
+    if not sampled:
+        raise ValueError("no candidate client ASes")
+    if clients < len(sampled):
+        raise ValueError(
+            f"need clients >= {len(sampled)} to cover every sampled AS"
+        )
+    shares = [1.0 / (rank + 1) ** exponent for rank in range(len(sampled))]
+    total_share = sum(shares)
+    volumes = [max(1, round(clients * s / total_share)) for s in shares]
+    # Rounding drift lands on the heaviest AS, keeping the total exact.
+    volumes[0] += clients - sum(volumes)
+    return ClientPopulation(tuple(zip(sampled, volumes)))
+
+
+def _sample_by_mass(
+    graph: ASGraph,
+    count: int,
+    seed: int,
+    kinds: Sequence[ASKind],
+) -> List[int]:
+    """Distinct ASes weighted by prefix mass, in draw order (so Zipf
+    rank follows sampling luck, heaviest-mass ASes likeliest first).
+    Batched rejection sampling over cumulative weights; asking for every
+    candidate (or more) short-circuits to mass order."""
+    candidates = [node for node in graph.nodes() if node.kind in kinds]
+    if not candidates:
+        raise ValueError("no candidate client ASes")
+    if count >= len(candidates):
+        ordered = sorted(candidates, key=lambda n: (-n.prefix_count, n.asn))
+        return [node.asn for node in ordered]
+    rng = random.Random(seed)
+    cum: List[int] = []
+    total = 0
+    for node in candidates:
+        total += max(1, node.prefix_count)
+        cum.append(total)
+    chosen = set()
+    sampled: List[int] = []
+    attempts = 0
+    limit = 50 * count
+    while len(sampled) < count and attempts < limit:
+        batch = rng.choices(
+            candidates, cum_weights=cum, k=min(4096, limit - attempts)
+        )
+        attempts += len(batch)
+        for node in batch:
+            if node.asn in chosen:
+                continue
+            chosen.add(node.asn)
+            sampled.append(node.asn)
+            if len(sampled) == count:
+                break
+    return sampled
 
 
 def zipf_attack_sources(

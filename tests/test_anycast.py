@@ -1,0 +1,378 @@
+"""Anycast subsystem: service wiring, catchment mapping (fast path vs
+forwarding-chain reference), stability reports, fault-plan failover, and
+the closed-loop traffic engineer."""
+
+import pytest
+
+from repro.anycast import (
+    UNSERVED,
+    AnycastService,
+    AnycastSite,
+    CatchmentMap,
+    EngineerConfig,
+    SiteSteering,
+    TrafficEngineer,
+)
+from repro.faults.plan import FaultPlan
+from repro.inet.gen import InternetConfig, build_internet
+from repro.inet.topology import ASKind
+from repro.sim.engine import Engine
+from repro.telemetry.metrics import MetricsRegistry
+from repro.workloads import ClientPopulation, zipf_clients
+
+
+def make_world(n_ases=800, seed=42, n_sites=3, uplinks_per_site=3):
+    net = build_internet(
+        InternetConfig(n_ases=n_ases, total_prefixes=60_000, seed=seed)
+    )
+    graph = net.graph
+    transits = [n.asn for n in graph.nodes() if n.kind == ASKind.TRANSIT]
+    need = n_sites * uplinks_per_site
+    assert len(transits) >= need
+    sites = [
+        AnycastSite(
+            name=f"site{i:02d}",
+            transits=tuple(
+                transits[i * uplinks_per_site : (i + 1) * uplinks_per_site]
+            ),
+        )
+        for i in range(n_sites)
+    ]
+    service = AnycastService.deploy(graph, sites)
+    population = zipf_clients(graph, ases=200, clients=50_000, seed=5)
+    return graph, service, population
+
+
+@pytest.fixture()
+def world():
+    return make_world()
+
+
+class TestServiceWiring:
+    def test_deploy_wires_uplinks(self, world):
+        graph, service, _ = world
+        assert service.asn in graph
+        for site in service.sites:
+            for transit in site.transits:
+                assert transit in graph.providers(service.asn)
+
+    def test_deploy_rejects_existing_asn(self, world):
+        graph, service, _ = world
+        with pytest.raises(ValueError, match="already exists"):
+            AnycastService.deploy(graph, list(service.sites), asn=service.asn)
+
+    def test_deploy_rejects_unknown_uplink(self):
+        graph, _, _ = make_world()
+        with pytest.raises(ValueError, match="not in topology"):
+            AnycastService.deploy(
+                graph, [AnycastSite(name="x", transits=(999_999_999,))],
+                asn=64999,
+            )
+
+    def test_deploy_rejects_overlapping_uplinks(self):
+        graph, service, _ = make_world()
+        shared = service.sites[0].transits[0]
+        with pytest.raises(ValueError, match="disjoint"):
+            AnycastService.deploy(
+                graph,
+                [
+                    AnycastSite(name="a", transits=(shared,)),
+                    AnycastSite(name="b", transits=(shared,)),
+                ],
+                asn=64999,
+            )
+
+    def test_site_needs_uplinks(self):
+        with pytest.raises(ValueError, match="no uplinks"):
+            AnycastSite(name="empty")
+
+    def test_steering_validation(self, world):
+        _, service, _ = world
+        name = service.sites[0].name
+        with pytest.raises(ValueError, match="non-uplinks"):
+            service.steer(name, SiteSteering(uplinks=(123456,)))
+        with pytest.raises(KeyError):
+            service.steer("nope", SiteSteering())
+
+    def test_spec_order_is_site_order(self, world):
+        _, service, _ = world
+        ann = service.announcement()
+        assert len(ann.origins) == len(service.sites)
+        names = service.active_site_names()
+        assert names == tuple(sorted(names))
+        for spec in ann.origins:
+            assert spec.asn == service.asn
+
+    def test_fail_site_drops_spec_and_last_site_protected(self, world):
+        _, service, _ = world
+        names = service.active_site_names()
+        for name in names[:-1]:
+            service.fail_site(name)
+        assert service.active_site_names() == (names[-1],)
+        with pytest.raises(ValueError, match="last live site"):
+            service.fail_site(names[-1])
+        service.restore_site(names[0])
+        assert names[0] in service.active_site_names()
+
+
+class TestCatchmentMap:
+    def test_fast_path_matches_chain_reference(self, world):
+        _, service, population = world
+        cmap = CatchmentMap.compute(service, population)
+        ref = CatchmentMap.from_outcome(
+            service, population, cmap._outcome, prefer_arrays=False
+        )
+        for asn in population.asns():
+            assert cmap.site_of(asn) == ref.site_of(asn)
+        assert cmap.volume_by_site == ref.volume_by_site
+
+    def test_shares_partition_the_population(self, world):
+        _, service, population = world
+        cmap = CatchmentMap.compute(service, population)
+        assert (
+            sum(cmap.volume_by_site.values()) + cmap.unserved_volume
+            == population.total_clients
+        )
+        shares = cmap.volume_shares()
+        assert sum(shares.values()) + cmap.unserved_fraction == pytest.approx(1.0)
+
+    def test_absent_asn_is_unserved(self, world):
+        _, service, _ = world
+        population = ClientPopulation(((999_999_999, 10), (1_234_567_890, 5)))
+        cmap = CatchmentMap.compute(service, population)
+        assert cmap.site_of(999_999_999) == UNSERVED
+        assert cmap.unserved_volume == 15
+        assert cmap.unserved_fraction == 1.0
+
+    def test_prepend_sheds_volume_and_diff_accounts_it(self, world):
+        _, service, population = world
+        before = CatchmentMap.compute(service, population)
+        heavy = max(
+            before.volume_by_site, key=lambda s: before.volume_by_site[s]
+        )
+        service.adjust(heavy, prepend=4)
+        after = CatchmentMap.compute(service, population)
+        assert after.volume_by_site[heavy] <= before.volume_by_site[heavy]
+        shift = before.diff(after)
+        assert shift.total_volume == population.total_clients
+        assert shift.flipped_volume == sum(v for _, v in shift.flows)
+        lost, gained = shift.site_churn().get(heavy, (0, 0))
+        assert lost >= gained
+        assert 0.0 <= shift.stability <= 1.0
+
+    def test_diff_of_identical_maps_is_stable(self, world):
+        _, service, population = world
+        a = CatchmentMap.compute(service, population)
+        b = CatchmentMap.compute(service, population)
+        shift = a.diff(b)
+        assert shift.flipped_volume == 0
+        assert shift.stability == 1.0
+
+    def test_entry_volumes_sum_to_site_volume(self, world):
+        _, service, population = world
+        cmap = CatchmentMap.compute(service, population)
+        for name in service.active_site_names():
+            entries = cmap.entry_volumes(name)
+            assert sum(entries.values()) == cmap.volume_by_site[name]
+            site = service.site(name)
+            assert set(entries) <= set(site.uplinks)
+
+    def test_compute_many_matches_serial(self, world):
+        _, service, population = world
+        anns = [
+            service.announcement(
+                {service.sites[0].name: SiteSteering(prepend=d)}
+            )
+            for d in range(3)
+        ]
+        batched = CatchmentMap.compute_many(
+            service, population, anns, parallel=2
+        )
+        for ann, cmap in zip(anns, batched):
+            solo = CatchmentMap.from_outcome(
+                service, population, service.engine.propagate(ann)
+            )
+            assert cmap.volume_by_site == solo.volume_by_site
+
+    def test_observe_records_shares_and_metrics(self, world):
+        _, service, population = world
+        metrics = MetricsRegistry()
+        service.bind_metrics(metrics)
+        cmap = CatchmentMap.compute(service, population)
+        assert service.last_shares == cmap.volume_shares()
+        gauge = metrics.get("peering_anycast_site_volume_share")
+        name = service.sites[0].name
+        assert gauge.labels(name).value == pytest.approx(
+            cmap.volume_shares()[name]
+        )
+
+    def test_render_mentions_every_site(self, world):
+        _, service, population = world
+        text = "\n".join(CatchmentMap.compute(service, population).render())
+        for name in service.active_site_names():
+            assert name in text
+
+
+class TestFailover:
+    def test_fault_plan_site_failure_reassigns_catchment(self, world):
+        _, service, population = world
+        engine = Engine()
+        before = CatchmentMap.compute(service, population)
+        victim = max(
+            before.volume_by_site, key=lambda s: before.volume_by_site[s]
+        )
+        plan = FaultPlan(engine, name="anycast")
+        plan.fail_anycast_site(service, victim, at=10.0)
+        plan.restore_anycast_site(service, victim, at=50.0)
+        engine.run(until=20.0)
+        assert victim in service.down_sites()
+        during = CatchmentMap.compute(service, population)
+        assert victim not in during.volume_by_site
+        shift = before.diff(during)
+        # The dead site's whole catchment moved somewhere else.
+        assert shift.flipped_volume >= before.volume_by_site[victim]
+        assert (
+            sum(during.volume_by_site.values()) + during.unserved_volume
+            == population.total_clients
+        )
+        engine.run(until=60.0)
+        assert victim not in service.down_sites()
+        after = CatchmentMap.compute(service, population)
+        assert after.volume_by_site[victim] > 0
+        assert (during.diff(after).site_churn().get(victim, (0, 0)))[1] > 0
+        assert [(a, t) for _, a, t in plan.log] == [
+            ("anycast-fail", victim),
+            ("anycast-restore", victim),
+        ]
+
+
+class TestTrafficEngineer:
+    def targets_for(self, service):
+        names = service.active_site_names()
+        return {name: 1.0 / len(names) for name in names}
+
+    def test_rejects_bad_targets(self, world):
+        _, service, population = world
+        with pytest.raises(ValueError, match="unknown"):
+            TrafficEngineer(service, population, {"nope": 1.0})
+        with pytest.raises(ValueError, match="missing"):
+            TrafficEngineer(
+                service, population, {service.sites[0].name: 1.0}
+            )
+
+    def test_rebalance_does_not_worsen_imbalance(self, world):
+        _, service, population = world
+        engineer = TrafficEngineer(
+            service, population, self.targets_for(service),
+            EngineerConfig(max_iterations=4, seed=3),
+        )
+        report = engineer.rebalance()
+        assert report.imbalance_after <= report.imbalance_before + 1e-9
+        assert service.last_rebalance is not None
+        assert service.last_rebalance["iterations"] == len(report.iterations)
+
+    def test_applied_moves_ride_shift_regime(self, world):
+        _, service, population = world
+        engineer = TrafficEngineer(
+            service, population, self.targets_for(service),
+            EngineerConfig(max_iterations=4, seed=3),
+        )
+        report = engineer.rebalance()
+        if report.iterations:
+            # Every evaluating iteration screens prepends through
+            # single-spec solo ladders — shift-regime runs.
+            assert report.shift_iterations == len(report.iterations)
+
+    def test_deterministic_across_reruns(self):
+        reports = []
+        for _ in range(2):
+            _, service, population = make_world()
+            engineer = TrafficEngineer(
+                service, population, self.targets_for(service),
+                EngineerConfig(max_iterations=3, seed=11),
+            )
+            reports.append(engineer.rebalance().to_json())
+        assert reports[0] == reports[1]
+
+    def test_serial_and_parallel_agree(self):
+        # Decisions (moves, scores, shares) are parallel-invariant, and
+        # the canonical report excludes execution accounting — so the
+        # serialized reports match byte-for-byte.
+        reports = []
+        for workers in (1, 2):
+            _, service, population = make_world()
+            engineer = TrafficEngineer(
+                service, population, self.targets_for(service),
+                EngineerConfig(max_iterations=3, seed=11, parallel=workers),
+            )
+            reports.append(engineer.rebalance().to_json())
+        assert reports[0] == reports[1]
+
+    def test_report_serializes(self, world):
+        _, service, population = world
+        engineer = TrafficEngineer(
+            service, population, self.targets_for(service),
+            EngineerConfig(max_iterations=2, seed=1),
+        )
+        report = engineer.rebalance()
+        import json
+
+        payload = json.loads(report.to_json())
+        assert set(payload) == {
+            "targets",
+            "iterations",
+            "converged",
+            "imbalance_before",
+            "imbalance_after",
+            "final_shares",
+        }
+
+
+class TestFromTestbed:
+    def test_catchment_over_testbed_muxes(self):
+        from repro.core import Testbed
+
+        testbed = Testbed.build_default(
+            InternetConfig(n_ases=400, total_prefixes=30_000, seed=78)
+        )
+        service = AnycastService.from_testbed(
+            testbed, site_names=["amsterdam01", "gatech01"]
+        )
+        population = zipf_clients(testbed.graph, ases=80, clients=5_000, seed=9)
+        cmap = CatchmentMap.compute(service, population)
+        assert set(cmap.volume_by_site) == {"amsterdam01", "gatech01"}
+        assert sum(cmap.volume_by_site.values()) > 0
+
+
+class TestLookingGlassSection:
+    def test_anycast_section_rendered(self):
+        from repro.core import Testbed
+        from repro.telemetry.lookingglass import LookingGlass
+
+        testbed = Testbed.build_default(
+            InternetConfig(n_ases=400, total_prefixes=30_000, seed=78)
+        )
+        service = AnycastService.from_testbed(
+            testbed, site_names=["amsterdam01", "gatech01"]
+        )
+        population = zipf_clients(testbed.graph, ases=80, clients=5_000, seed=9)
+        CatchmentMap.compute(service, population)
+        glass = LookingGlass(testbed, anycast=service)
+        stats = glass.anycast_stats()
+        assert stats["asn"] == testbed.asn
+        assert stats["sites"] == ["amsterdam01", "gatech01"]
+        assert stats["shares"] == service.last_shares
+        from repro.net.addr import Prefix
+
+        text = glass.render(Prefix("184.164.224.0/24"))
+        assert "anycast AS" in text
+        assert "amsterdam01" in text
+
+    def test_unwired_glass_empty(self):
+        from repro.core import Testbed
+        from repro.telemetry.lookingglass import LookingGlass
+
+        testbed = Testbed.build_default(
+            InternetConfig(n_ases=400, total_prefixes=30_000, seed=78)
+        )
+        assert LookingGlass(testbed).anycast_stats() == {}

@@ -522,3 +522,60 @@ class TestDdosCampaign:
     def test_table_renders(self, result):
         text = result.table()
         assert "surgical-discard" in text and "collateral" in text
+
+
+class TestRuleTrafficCounters:
+    """Per-rule byte/packet counters over enforcement decisions."""
+
+    def test_counts_every_match_including_in_budget_forwards(self):
+        g = chain_world()
+        dist, _ = make_distributor(g, deployers=(1,))
+        limited = rule(action=FlowSpecAction.rate_limit(2), dst_ports=((123, 123),))
+        dist.announce(limited)
+        # Two in-budget forwards, one rate-exceeded: all three count.
+        for _ in range(3):
+            dist.decide(1, pkt(size=100))
+        counters = dist.rule_counters()
+        assert counters[limited] == (3, 300)
+        stats = dist.stats()
+        assert stats["matched_packets"] == 3
+        assert stats["matched_bytes"] == 300
+
+    def test_non_matching_traffic_not_counted(self):
+        g = chain_world()
+        dist, _ = make_distributor(g, deployers=(1,))
+        discard = rule(dst_ports=((123, 123),))
+        dist.announce(discard)
+        assert dist.decide(1, pkt(dst_port=80)) is None
+        assert dist.rule_counters() == {}
+
+    def test_counters_survive_withdrawal(self):
+        g = chain_world()
+        dist, _ = make_distributor(g, deployers=(1,))
+        discard = rule()
+        dist.announce(discard)
+        dist.decide(1, pkt(size=1500))
+        dist.withdraw(discard.originator)
+        assert dist.rules_at(1) == ()
+        assert dist.rule_counters()[discard] == (1, 1500)
+
+    def test_exported_per_mux_and_rendered(self):
+        g = chain_world()
+        metrics = MetricsRegistry()
+        dist, _ = make_distributor(g, deployers=(1,))
+        dist.bind_metrics(metrics, mux="amsterdam01")
+        other, _ = make_distributor(g, deployers=(3,))
+        other.bind_metrics(metrics, mux="gatech01")
+        dist.announce(rule())
+        other.announce(rule())
+        dist.decide(1, pkt(size=64))
+        dist.decide(1, pkt(size=36))
+        other.decide(3, pkt(size=1000))
+        packets = metrics.get("peering_flowspec_matched_packets_total")
+        volume = metrics.get("peering_flowspec_matched_bytes_total")
+        assert packets.labels("amsterdam01").value == 2
+        assert packets.labels("gatech01").value == 1
+        assert volume.labels("amsterdam01").value == 100
+        assert volume.labels("gatech01").value == 1000
+        text = dist.render()
+        assert "matched traffic: 2 packets / 100 bytes" in text
